@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tiny returns flags that keep an experiment under a second.
+func tiny(exp string, extra ...string) []string {
+	args := []string{"-exp", exp, "-trees", "6", "-tasks", "400", "-threshold", "50", "-q"}
+	return append(args, extra...)
+}
+
+func TestEachExperimentRenders(t *testing.T) {
+	cases := map[string][]string{
+		"fig3":               tiny("fig3"),
+		"fig4":               tiny("fig4"),
+		"table1":             tiny("table1"),
+		"fig6":               tiny("fig6"),
+		"fig5":               tiny("fig5", "-trees", "3"),
+		"table2":             tiny("table2", "-trees", "3", "-tasks", "400"),
+		"fig7":               tiny("fig7"),
+		"ablation-policy":    tiny("ablation-policy", "-trees", "3"),
+		"ablation-interrupt": tiny("ablation-interrupt", "-trees", "3"),
+		"ablation-decay":     tiny("ablation-decay", "-trees", "3"),
+		"churn":              tiny("churn", "-trees", "3", "-churn", "2"),
+		"overlay":            tiny("overlay", "-graphs", "4"),
+	}
+	markers := map[string]string{
+		"fig3": "Figure 3(a)", "fig4": "Figure 4", "table1": "Table 1",
+		"fig6": "Figure 6(a)", "fig5": "Figure 5", "table2": "Table 2",
+		"fig7": "Figure 7", "ablation-policy": "Ablation",
+		"ablation-interrupt": "Ablation", "ablation-decay": "decay",
+		"churn": "Churn study", "overlay": "Overlay construction",
+	}
+	for exp, args := range cases {
+		t.Run(exp, func(t *testing.T) {
+			var b strings.Builder
+			if err := run(args, &b); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !strings.Contains(b.String(), markers[exp]) {
+				t.Fatalf("output missing %q:\n%s", markers[exp], b.String())
+			}
+		})
+	}
+}
+
+func TestMultipleExperimentsShareFig4Runs(t *testing.T) {
+	var b strings.Builder
+	if err := run(tiny("fig4,table1,fig6"), &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"Figure 4", "Table 1", "Figure 6(a)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out")
+	var b strings.Builder
+	if err := run(tiny("fig4", "-csv", dir), &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read dir: %v", err)
+	}
+	var csvs, jsons int
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ".csv"):
+			csvs++
+		case strings.HasSuffix(e.Name(), ".json"):
+			jsons++
+		}
+	}
+	if csvs != 4 || jsons != 1 {
+		t.Fatalf("exports: %d csv, %d json", csvs, jsons)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "fig99"}, &b); err == nil {
+		t.Fatalf("unknown experiment accepted")
+	}
+}

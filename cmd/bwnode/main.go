@@ -1,0 +1,140 @@
+// Command bwnode runs one node of a live bandwidth-centric scheduling
+// overlay as an OS process — the deployable form of the paper's
+// future-work prototype.
+//
+// Start a root that will dispatch 1000 synthetic tasks of 64 KiB each and
+// print per-node statistics when done:
+//
+//	bwnode -name root -listen 127.0.0.1:7000 -tasks 1000 -size 65536
+//
+// Join workers to it (from any machine that can reach the root):
+//
+//	bwnode -name w1 -parent 127.0.0.1:7000 -compute-ms 5
+//	bwnode -name w2 -parent 127.0.0.1:7000 -listen 127.0.0.1:7001 -compute-ms 2
+//	bwnode -name w3 -parent 127.0.0.1:7001 -compute-ms 2     # deeper in the tree
+//
+// Workers may join while the application runs; the protocol folds them in
+// with no coordination beyond their own requests. The synthetic "compute"
+// hashes the payload repeatedly for the configured duration, standing in
+// for a real independent-task application.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"bwcs/live"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bwnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bwnode", flag.ContinueOnError)
+	var (
+		name      = fs.String("name", "", "node name (required)")
+		listen    = fs.String("listen", "", "address to accept children on (empty = leaf)")
+		parent    = fs.String("parent", "", "parent address (empty = root)")
+		buffers   = fs.Int("buffers", 3, "task buffers per node (the paper's FB)")
+		nonIC     = fs.Bool("non-interruptible", false, "disable send preemption (non-IC variant)")
+		chunk     = fs.Int("chunk", 4096, "bytes per transfer chunk")
+		computeMS = fs.Int("compute-ms", 10, "synthetic compute time per task, milliseconds")
+		tasks     = fs.Int("tasks", 0, "root only: number of tasks to dispatch")
+		size      = fs.Int("size", 4096, "root only: task payload bytes")
+		timeout   = fs.Duration("timeout", 10*time.Minute, "root only: run deadline")
+		status    = fs.String("status", "", "serve JSON node statistics at this address (e.g. 127.0.0.1:8080)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("-name is required")
+	}
+	if *parent == "" && *tasks <= 0 {
+		return fmt.Errorf("a root needs -tasks")
+	}
+
+	node, err := live.Start(live.Config{
+		Name:             *name,
+		Listen:           *listen,
+		Parent:           *parent,
+		Buffers:          *buffers,
+		NonInterruptible: *nonIC,
+		ChunkSize:        *chunk,
+		Compute:          hashCompute(time.Duration(*computeMS) * time.Millisecond),
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	if *listen != "" {
+		fmt.Printf("%s listening on %s\n", *name, node.Addr())
+	}
+	if *status != "" {
+		addr, err := node.ServeStatus(*status)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s status at http://%s/status\n", *name, addr)
+	}
+
+	if *parent != "" {
+		// Worker: serve until interrupted or the parent shuts us down.
+		fmt.Printf("%s joined parent %s; serving (ctrl-c to leave)\n", *name, *parent)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		s := node.Stats()
+		fmt.Printf("%s leaving: computed %d, forwarded %d, requests %d\n", *name, s.Computed, s.Forwarded, s.Requests)
+		return nil
+	}
+
+	// Root: build the workload, run it, report.
+	work := make([]live.Task, *tasks)
+	for i := range work {
+		payload := make([]byte, *size)
+		for j := range payload {
+			payload[j] = byte(i * j)
+		}
+		work[i] = live.Task{ID: uint64(i + 1), Payload: payload}
+	}
+	start := time.Now()
+	results, err := node.Run(work, *timeout)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	byOrigin := map[string]int{}
+	for _, r := range results {
+		byOrigin[r.Origin]++
+	}
+	fmt.Printf("completed %d tasks in %v (%.1f tasks/s)\n", len(results), elapsed.Round(time.Millisecond),
+		float64(len(results))/elapsed.Seconds())
+	for origin, count := range byOrigin {
+		fmt.Printf("  %-12s %6d tasks\n", origin, count)
+	}
+	s := node.Stats()
+	fmt.Printf("root: computed %d, forwarded %d, interrupts %d\n", s.Computed, s.Forwarded, s.Interrupts)
+	return nil
+}
+
+// hashCompute burns roughly d of CPU per task by re-hashing the payload,
+// returning the final digest — a deterministic stand-in for real work.
+func hashCompute(d time.Duration) live.ComputeFunc {
+	return func(t live.Task) ([]byte, error) {
+		sum := sha256.Sum256(t.Payload)
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+			sum = sha256.Sum256(sum[:])
+		}
+		return sum[:], nil
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExampleRun(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-example", "-tasks", "800", "-threshold", "100", "-chart", "-top", "3"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"8 nodes", "IC FB=3", "optimal steady-state rate",
+		"periodicity", "used nodes", "normalized windowed throughput",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProtocolVariants(t *testing.T) {
+	for _, args := range [][]string{
+		{"-example", "-protocol", "nonic", "-buffers", "1", "-tasks", "500", "-threshold", "50"},
+		{"-example", "-protocol", "nonic-fixed", "-buffers", "2", "-tasks", "500", "-threshold", "50"},
+		{"-gen", "-seed", "3", "-index", "1", "-tasks", "500", "-threshold", "50"},
+		{"-example", "-order", "compute", "-tasks", "400", "-threshold", "50"},
+		{"-example", "-order", "fcfs", "-protocol", "nonic-fixed", "-tasks", "400", "-threshold", "50"},
+	} {
+		var b strings.Builder
+		if err := run(args, &b); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		if !strings.Contains(b.String(), "makespan") {
+			t.Fatalf("run(%v) produced no report:\n%s", args, b.String())
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{}, &b); err == nil {
+		t.Fatalf("no platform accepted")
+	}
+	if err := run([]string{"-example", "-protocol", "nope"}, &b); err == nil {
+		t.Fatalf("unknown protocol accepted")
+	}
+	if err := run([]string{"-example", "-order", "nope"}, &b); err == nil {
+		t.Fatalf("unknown order accepted")
+	}
+	if err := run([]string{"-in", "/does/not/exist"}, &b); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+}

@@ -1,0 +1,48 @@
+// Gridsite: the paper's Figure 1 three-site Grid platform. Compares the
+// autonomous protocols (and a deliberately wrong compute-centric baseline)
+// on the same application, showing why priorities must follow
+// communication capability rather than compute speed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bwcs"
+)
+
+func main() {
+	const tasks = 10_000
+	t := bwcs.ExampleTree()
+	opt := bwcs.Optimal(t)
+
+	fmt.Printf("Figure 1 platform: %d nodes across 3 sites, optimal rate %s (= %.4f tasks/timestep)\n\n",
+		t.Len(), opt.Rate, opt.Rate.Float64())
+	fmt.Println("optimal fluid schedule:")
+	for id := bwcs.NodeID(0); int(id) < t.Len(); id++ {
+		fmt.Printf("  P%d: w=%d c=%d  %-9s rate %.4f\n",
+			id, t.W(id), t.C(id), opt.Class(t, id), opt.NodeRate[id].Float64())
+	}
+
+	protocols := []bwcs.Protocol{
+		bwcs.IC(3),
+		bwcs.IC(1),
+		bwcs.NonIC(1),
+		bwcs.NonICFixed(2),
+		bwcs.IC(3).WithOrder(bwcs.ComputeCentric), // the wrong priority, as a baseline
+	}
+
+	fmt.Printf("\n%-28s %10s %12s %10s %10s\n", "protocol", "makespan", "rate", "% optimal", "buffers")
+	for _, p := range protocols {
+		res, err := bwcs.Simulate(bwcs.SimConfig{Tree: t, Protocol: p, Tasks: tasks})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rate := float64(tasks) / float64(res.Makespan)
+		fmt.Printf("%-28s %10d %12.5f %9.2f%% %10d\n",
+			p, res.Makespan, rate, 100*rate/opt.Rate.Float64(), res.MaxNodeBuffers())
+	}
+	fmt.Println("\nall variants track the optimum on this small CPU-bound platform — but note the")
+	fmt.Println("non-IC growth protocol's buffer explosion; on bandwidth-starved platforms the")
+	fmt.Println("orderings separate too (run: bwexp -exp ablation-policy)")
+}

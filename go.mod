@@ -1,0 +1,3 @@
+module bwcs
+
+go 1.23

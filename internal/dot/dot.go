@@ -1,0 +1,91 @@
+// Package dot renders platform trees as Graphviz DOT documents, so
+// platforms and their optimal allocations can be inspected visually with
+// standard tooling (dot -Tsvg platform.dot -o platform.svg).
+//
+// Nodes are annotated with their compute weight and, when an allocation is
+// supplied, their steady-state role: saturated nodes are filled green,
+// partially fed nodes yellow, starved nodes gray. Edges carry their
+// communication weight; edges on paths that carry no tasks in the optimal
+// schedule are dashed.
+package dot
+
+import (
+	"fmt"
+	"io"
+
+	"bwcs/internal/optimal"
+	"bwcs/internal/tree"
+)
+
+// Options customizes rendering.
+type Options struct {
+	// Name is the graph name; default "platform".
+	Name string
+	// Allocation, when non-nil, colors nodes by their optimal role and
+	// annotates rates.
+	Allocation *optimal.Allocation
+	// Rankdir is the Graphviz layout direction; default "TB".
+	Rankdir string
+}
+
+// Write renders t to w as a DOT digraph.
+func Write(w io.Writer, t *tree.Tree, o Options) error {
+	if t == nil {
+		return fmt.Errorf("dot: nil tree")
+	}
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("dot: %w", err)
+	}
+	if o.Name == "" {
+		o.Name = "platform"
+	}
+	if o.Rankdir == "" {
+		o.Rankdir = "TB"
+	}
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("digraph %q {\n", o.Name)
+	p("  rankdir=%s;\n", o.Rankdir)
+	p("  node [shape=box, style=filled, fillcolor=white, fontname=\"monospace\"];\n")
+	t.Walk(func(id tree.NodeID) bool {
+		label := fmt.Sprintf("P%d\\nw=%d", id, t.W(id))
+		fill := "white"
+		if a := o.Allocation; a != nil {
+			switch a.Class(t, id) {
+			case optimal.Saturated:
+				fill = "palegreen"
+			case optimal.Partial:
+				fill = "khaki"
+			case optimal.Starved:
+				fill = "lightgray"
+			}
+			label += fmt.Sprintf("\\nrate=%s", a.NodeRate[id].Format(4))
+		}
+		if id == t.Root() {
+			label = "root " + label
+		}
+		p("  n%d [label=\"%s\", fillcolor=%s];\n", id, label, fill)
+		return true
+	})
+	t.Walk(func(id tree.NodeID) bool {
+		if id == t.Root() {
+			return true
+		}
+		attrs := fmt.Sprintf("label=\"c=%d\"", t.C(id))
+		if a := o.Allocation; a != nil {
+			if a.InflowRate[id].IsZero() {
+				attrs += ", style=dashed, color=gray"
+			} else {
+				attrs += fmt.Sprintf(", penwidth=2, taillabel=\"%s\"", a.InflowRate[id].Format(3))
+			}
+		}
+		p("  n%d -> n%d [%s];\n", t.Parent(id), id, attrs)
+		return true
+	})
+	p("}\n")
+	return err
+}

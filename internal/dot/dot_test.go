@@ -1,0 +1,62 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"bwcs/internal/optimal"
+	"bwcs/internal/tree"
+)
+
+func sample() *tree.Tree {
+	t := tree.New(10)
+	t.AddChild(t.Root(), 1, 1)  // saturated
+	t.AddChild(t.Root(), 1, 50) // starved behind a slow link
+	return t
+}
+
+func TestWritePlain(t *testing.T) {
+	var b strings.Builder
+	if err := Write(&b, sample(), Options{}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`digraph "platform"`, "rankdir=TB",
+		"n0 [label=\"root P0\\nw=10\"", "n0 -> n1 [label=\"c=1\"]", "n0 -> n2 [label=\"c=50\"]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "dashed") {
+		t.Fatalf("plain render has allocation styling:\n%s", out)
+	}
+}
+
+func TestWriteWithAllocation(t *testing.T) {
+	tr := sample()
+	var b strings.Builder
+	if err := Write(&b, tr, Options{Name: "fig1", Rankdir: "LR", Allocation: optimal.Compute(tr)}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`digraph "fig1"`, "rankdir=LR",
+		"palegreen",    // the saturated child
+		"lightgray",    // the starved child
+		"style=dashed", // its unused edge
+		"rate=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	var b strings.Builder
+	if err := Write(&b, nil, Options{}); err == nil {
+		t.Fatalf("nil tree accepted")
+	}
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"bwcs/internal/engine"
+	"bwcs/internal/protocol"
+	"bwcs/internal/randtree"
+	"bwcs/internal/tree"
+)
+
+// ChurnResult measures the paper's future-work question of resilience "to
+// changes in resource conditions and to dynamically evolving pools of
+// resources": random platforms run the same application with and without
+// churn (random subtrees departing and fresh ones joining mid-run), and
+// the slowdown plus the re-executed work quantify the cost of churn under
+// the autonomous protocol.
+type ChurnResult struct {
+	Options Options
+	Events  int // departures and attachments per run
+
+	// MeanSlowdown is the mean of makespan(churn)/makespan(static).
+	MeanSlowdown float64
+	// MeanRequeuedFraction is the mean of requeued/Tasks.
+	MeanRequeuedFraction float64
+	// Completed reports whether every churned run finished all tasks (a
+	// correctness check: churn must never lose work).
+	Completed bool
+}
+
+// Churn runs the study with the given number of churn events per run
+// (half departures, half joins), spread evenly across the application.
+func Churn(o Options, events int) (*ChurnResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if events < 2 {
+		return nil, fmt.Errorf("churn: need at least 2 events, got %d", events)
+	}
+	proto := protocol.Interruptible(3)
+	out := &ChurnResult{Options: o, Events: events, Completed: true}
+	slow := make([]float64, o.Trees)
+	req := make([]float64, o.Trees)
+	finished := make([]bool, o.Trees)
+	if err := parallelFor(o.Trees, o.workers(), func(i int) error {
+		tr := randtree.TreeAt(o.Params, o.Seed, i)
+		static, err := engine.Run(engine.Config{Tree: tr, Protocol: proto, Tasks: o.Tasks})
+		if err != nil {
+			return err
+		}
+
+		rng := rand.New(rand.NewPCG(o.Seed^0x5bd1e995, uint64(i)))
+		cfg := engine.Config{Tree: tr, Protocol: proto, Tasks: o.Tasks}
+		step := o.Tasks / int64(events+1)
+		for ev := 0; ev < events; ev++ {
+			at := step * int64(ev+1)
+			if ev%2 == 0 && tr.Len() > 1 {
+				// Depart a random non-root node of the original tree.
+				victim := tree.NodeID(rng.IntN(tr.Len()-1) + 1)
+				cfg.Departures = append(cfg.Departures, engine.DepartMutation{AfterTasks: at, Node: victim})
+			} else {
+				// A small random site joins under a random original node.
+				site := tree.New(rng.Int64N(o.Params.Comp) + 1)
+				for k := rng.IntN(4); k > 0; k-- {
+					site.AddChild(site.Root(), rng.Int64N(o.Params.Comp)+1, rng.Int64N(o.Params.MaxComm)+1)
+				}
+				cfg.Attachments = append(cfg.Attachments, engine.AttachMutation{
+					AfterTasks: at,
+					Parent:     tree.NodeID(rng.IntN(tr.Len())),
+					Subtree:    site,
+					C:          rng.Int64N(o.Params.MaxComm) + 1,
+				})
+			}
+		}
+		churned, err := engine.Run(cfg)
+		if err != nil {
+			return err
+		}
+		finished[i] = int64(len(churned.Completions)) == o.Tasks
+		slow[i] = float64(churned.Makespan) / float64(static.Makespan)
+		req[i] = float64(churned.Requeued) / float64(o.Tasks)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var sumSlow, sumReq float64
+	for i := range slow {
+		sumSlow += slow[i]
+		sumReq += req[i]
+		if !finished[i] {
+			out.Completed = false
+		}
+	}
+	out.MeanSlowdown = sumSlow / float64(o.Trees)
+	out.MeanRequeuedFraction = sumReq / float64(o.Trees)
+	return out, nil
+}
+
+// Render writes the churn study summary.
+func (r *ChurnResult) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Churn study (future work §6): resilience to dynamically evolving resource pools")
+	fmt.Fprintf(w, "%d random platforms, %d tasks, %d churn events each (alternating departures and joins), IC FB=3\n\n",
+		r.Options.Trees, r.Options.Tasks, r.Events)
+	fmt.Fprintf(w, "all tasks completed under churn: %v\n", r.Completed)
+	fmt.Fprintf(w, "mean makespan slowdown vs static platform: %.3fx\n", r.MeanSlowdown)
+	fmt.Fprintf(w, "mean re-executed work: %.2f%% of the application\n", 100*r.MeanRequeuedFraction)
+	return nil
+}
+
+// AblationDecayResult compares the non-IC growth protocol with and without
+// buffer decay: decay should shrink buffer footprints without hurting the
+// reached fraction. The paper calls for decay but neither specifies nor
+// evaluates it; this is the missing experiment.
+type AblationDecayResult struct {
+	Options Options
+	// Plain and Decay summarize non-IC IB=1 without and with decay.
+	PlainReached, DecayReached     float64
+	PlainMeanTotal, DecayMeanTotal float64 // mean total buffers per tree
+	MeanRetired                    float64 // mean buffers retired per tree (decay run)
+}
+
+// AblationDecay runs both variants over the population.
+func AblationDecay(o Options) (*AblationDecayResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	out := &AblationDecayResult{Options: o}
+	for variant := 0; variant < 2; variant++ {
+		proto := protocol.NonInterruptible(1)
+		if variant == 1 {
+			proto = proto.WithDecay(0)
+		}
+		reached := 0
+		var sumTotal, sumRetired float64
+		outcomes := make([]TreeOutcome, o.Trees)
+		results := make([]*engine.Result, o.Trees)
+		if err := parallelFor(o.Trees, o.workers(), func(i int) error {
+			oc, res, err := EvaluateTree(o, proto, i, nil)
+			outcomes[i] = oc
+			results[i] = res
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		for i := range outcomes {
+			if outcomes[i].Reached {
+				reached++
+			}
+			sumTotal += float64(results[i].TotalBuffers())
+			for _, ns := range results[i].Nodes {
+				sumRetired += float64(ns.Decayed)
+			}
+		}
+		frac := float64(reached) / float64(o.Trees)
+		mean := sumTotal / float64(o.Trees)
+		if variant == 0 {
+			out.PlainReached, out.PlainMeanTotal = frac, mean
+		} else {
+			out.DecayReached, out.DecayMeanTotal = frac, mean
+			out.MeanRetired = sumRetired / float64(o.Trees)
+		}
+	}
+	return out, nil
+}
+
+// Render writes the decay ablation summary.
+func (r *AblationDecayResult) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Ablation: buffer decay on non-IC IB=1 (the growth+decay protocol §3.1 calls for)")
+	fmt.Fprintf(w, "%-12s %10s %22s\n", "variant", "reached", "mean total buffers/tree")
+	fmt.Fprintf(w, "%-12s %9.2f%% %22.0f\n", "growth only", 100*r.PlainReached, r.PlainMeanTotal)
+	fmt.Fprintf(w, "%-12s %9.2f%% %22.0f\n", "with decay", 100*r.DecayReached, r.DecayMeanTotal)
+	fmt.Fprintf(w, "\nmean buffers retired by decay per tree: %.0f\n", r.MeanRetired)
+	fmt.Fprintf(w, "%d trees, %d tasks\n", r.Options.Trees, r.Options.Tasks)
+	return nil
+}

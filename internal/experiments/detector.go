@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bwcs/internal/optimal"
+	"bwcs/internal/protocol"
+	"bwcs/internal/randtree"
+	"bwcs/internal/steady"
+	"bwcs/internal/window"
+)
+
+// DetectorResult evaluates the paper's empirical onset heuristic against
+// the exact periodicity detector (internal/steady) on the same runs: the
+// paper admits its window-300 double-crossing rule "is purely empirical"
+// and leaves "more theoretically-justified decision criteria" to future
+// work — this experiment quantifies how often the heuristic agrees with
+// an exact criterion.
+type DetectorResult struct {
+	Options Options
+	// Agreement matrix over the population, under IC FB=3:
+	// counts[heuristic][exact] with heuristic ∈ {reached, not} and exact ∈
+	// {optimal, suboptimal/none}.
+	BothOptimal        int // heuristic reached, periodic rate == optimal
+	HeuristicOnly      int // heuristic reached, exact says otherwise
+	ExactOnly          int // heuristic missed, exact proves optimal
+	NeitherOptimal     int
+	NoPeriodicityFound int // exact detector found no steady interval at all
+}
+
+// Detector runs the comparison.
+func Detector(o Options) (*DetectorResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	out := &DetectorResult{Options: o}
+	proto := protocol.Interruptible(3)
+	type verdict struct {
+		heuristic bool
+		exact     steady.Class
+	}
+	verdicts := make([]verdict, o.Trees)
+	if err := parallelFor(o.Trees, o.workers(), func(i int) error {
+		tr := randtree.TreeAt(o.Params, o.Seed, i)
+		_, res, err := EvaluateTree(o, proto, i, nil)
+		if err != nil {
+			return err
+		}
+		opt := optimal.Compute(tr)
+		series, err := window.New(res.Completions, opt.TreeWeight)
+		if err != nil {
+			return err
+		}
+		det := steady.Detect(res.Completions, steady.Options{})
+		verdicts[i] = verdict{
+			heuristic: series.Reached(o.Threshold),
+			exact:     det.Classify(opt.TreeWeight),
+		}
+		if verdicts[i].exact == steady.Anomalous {
+			return fmt.Errorf("detector: tree %d steady rate above optimal (model bug)", i)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, v := range verdicts {
+		exactOptimal := v.exact == steady.Optimal
+		switch {
+		case v.heuristic && exactOptimal:
+			out.BothOptimal++
+		case v.heuristic && !exactOptimal:
+			out.HeuristicOnly++
+		case !v.heuristic && exactOptimal:
+			out.ExactOnly++
+		default:
+			out.NeitherOptimal++
+		}
+		if v.exact == steady.NoSteadyState {
+			out.NoPeriodicityFound++
+		}
+	}
+	return out, nil
+}
+
+// Agreement returns the fraction of trees where both detectors agree.
+func (r *DetectorResult) Agreement() float64 {
+	total := r.BothOptimal + r.HeuristicOnly + r.ExactOnly + r.NeitherOptimal
+	if total == 0 {
+		return 0
+	}
+	return float64(r.BothOptimal+r.NeitherOptimal) / float64(total)
+}
+
+// Render writes the agreement matrix.
+func (r *DetectorResult) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Detector study: paper's window heuristic vs exact periodicity detection (IC FB=3)")
+	fmt.Fprintf(w, "%-32s %10s\n", "", "trees")
+	fmt.Fprintf(w, "%-32s %10d\n", "both say optimal", r.BothOptimal)
+	fmt.Fprintf(w, "%-32s %10d\n", "heuristic only (likely wiggle)", r.HeuristicOnly)
+	fmt.Fprintf(w, "%-32s %10d\n", "exact only (heuristic missed)", r.ExactOnly)
+	fmt.Fprintf(w, "%-32s %10d\n", "neither", r.NeitherOptimal)
+	fmt.Fprintf(w, "%-32s %10d\n", "no periodic interval found", r.NoPeriodicityFound)
+	fmt.Fprintf(w, "\nagreement: %.2f%% over %d trees, %d tasks\n", 100*r.Agreement(), r.Options.Trees, r.Options.Tasks)
+	fmt.Fprintln(w, "reading the matrix: on large heterogeneous platforms exact periodicity rarely")
+	fmt.Fprintln(w, "materialises within practical horizons — the steady-state period is bounded only")
+	fmt.Fprintln(w, "by (roughly) the LCM of all weights, which the paper itself calls impractically")
+	fmt.Fprintln(w, "large. A high 'heuristic only' row therefore vindicates the paper's empirical")
+	fmt.Fprintln(w, "window criterion for such populations; the exact detector is the right tool for")
+	fmt.Fprintln(w, "small or regular platforms, where the heuristic fails instead (exactly-periodic")
+	fmt.Fprintln(w, "runs never go strictly above the optimal rate).")
+	return nil
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import "bwcs/internal/tree"
+
+// ExampleTree reconstructs the paper's Figure 1 platform: a root node P0
+// holding the data repository, two more nodes at site 1, one of which
+// bridges to two nodes at site 2, and a site-3 node with two children.
+//
+// The scanned figure's weight placement is partly ambiguous; this
+// reconstruction fixes the values the text depends on — node P1 has
+// communication time c1 = 1 and compute time w1 = 3, as required by the
+// adaptability experiment of Section 4.2.3 — and chooses the remaining
+// weights from the figure's label set so that the tree is moderately
+// bandwidth-constrained (the regime where adaptation is visible).
+//
+// Layout (ids follow the paper's P-numbers):
+//
+//	P0 (w=5)
+//	├── P1 (c=1, w=3)    site 1
+//	├── P2 (c=2, w=5)    site 1, bridge to site 2
+//	│   ├── P3 (c=4, w=4)   site 2
+//	│   └── P4 (c=6, w=6)   site 2
+//	└── P5 (c=5, w=6)    site 3
+//	    ├── P6 (c=1, w=1)   site 3
+//	    └── P7 (c=4, w=4)   site 3
+func ExampleTree() *tree.Tree {
+	t := tree.New(5)          // P0
+	t.AddChild(0, 3, 1)       // P1
+	p2 := t.AddChild(0, 5, 2) // P2
+	t.AddChild(p2, 4, 4)      // P3
+	t.AddChild(p2, 6, 6)      // P4
+	p5 := t.AddChild(0, 6, 5) // P5
+	t.AddChild(p5, 1, 1)      // P6
+	t.AddChild(p5, 4, 4)      // P7
+	return t
+}
+
+// P1 is the node whose weights the adaptability experiment mutates.
+const P1 tree.NodeID = 1

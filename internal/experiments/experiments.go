@@ -1,0 +1,331 @@
+// Package experiments reproduces the paper's evaluation (Section 4): one
+// harness per table and figure, each with a typed result and a text
+// renderer, plus the ablation studies called out in DESIGN.md.
+//
+// Every experiment draws its random trees with randtree.TreeAt, keyed by
+// (seed, tree index), so results are identical no matter how many workers
+// run the sweep, and any individual tree can be regenerated for debugging.
+//
+// The paper's full scale (25,000 trees × 10,000 tasks) is reachable by
+// raising Options; the defaults are scaled down to keep the harness
+// interactive while preserving every qualitative shape (see EXPERIMENTS.md
+// for measured-vs-paper numbers at both scales).
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"bwcs/internal/engine"
+	"bwcs/internal/optimal"
+	"bwcs/internal/protocol"
+	"bwcs/internal/randtree"
+	"bwcs/internal/sim"
+	"bwcs/internal/stats"
+	"bwcs/internal/window"
+)
+
+// Options scales an experiment run.
+type Options struct {
+	// Trees is the number of random trees in the population. The paper
+	// uses 25,000 for Figure 4/Table 1 and 1,000 per class for Figure 5.
+	Trees int
+	// Tasks is the application size. The paper uses 10,000 for Figure 4
+	// and 4,000 for Figure 5/Table 2.
+	Tasks int64
+	// Threshold is the onset detector's window threshold (paper: 300).
+	Threshold int
+	// Seed drives tree generation and any randomized baseline policy.
+	Seed uint64
+	// Params generates the tree population.
+	Params randtree.Params
+	// Workers bounds sweep parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Default returns scaled-down defaults that preserve the paper's shapes:
+// the population is smaller but the tree distribution, task counts and
+// detector threshold match the paper's methodology.
+func Default() Options {
+	return Options{
+		Trees:     400,
+		Tasks:     2_000,
+		Threshold: window.DefaultThreshold,
+		Seed:      2003, // the paper's year; any fixed seed works
+		Params:    randtree.Defaults(),
+	}
+}
+
+// Paper returns the paper's full experiment scale for Figure 4 and
+// Table 1: 25,000 trees by 10,000 tasks.
+func Paper() Options {
+	o := Default()
+	o.Trees = 25_000
+	o.Tasks = 10_000
+	return o
+}
+
+// Validate reports whether the options are runnable.
+func (o Options) Validate() error {
+	if o.Trees < 1 {
+		return fmt.Errorf("experiments: trees %d < 1", o.Trees)
+	}
+	if o.Tasks < 2 {
+		return fmt.Errorf("experiments: tasks %d < 2", o.Tasks)
+	}
+	if o.Threshold < 0 {
+		return fmt.Errorf("experiments: negative threshold %d", o.Threshold)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("experiments: negative workers %d", o.Workers)
+	}
+	return o.Params.Validate()
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// TreeOutcome is the per-tree measurement every population experiment
+// shares: did the run reach the optimal steady state, when, and at what
+// buffer cost.
+type TreeOutcome struct {
+	Index int // tree index within the population (regenerable via TreeAt)
+
+	// Platform shape.
+	Nodes int
+	Depth int
+
+	// Steady-state detection (paper Section 4.1).
+	Reached bool
+	Onset   int // window index of the second above-optimal point
+
+	// Buffer usage (non-IC growth; constant for fixed-buffer protocols):
+	// MaxNodeBuffers is the largest grown capacity at any node;
+	// MaxNodeUsed the most tasks any node ever had queued — the buffers
+	// the run actually needed (the paper's m = MAX(m_i), which Tables 1
+	// and 2 report).
+	MaxNodeBuffers int64
+	MaxNodeUsed    int64
+	TotalBuffers   int64
+
+	// Used subtree: nodes that computed at least one task (Figure 6).
+	UsedNodes int
+	UsedDepth int
+
+	Makespan sim.Time
+}
+
+// Population is the outcome of one protocol over the whole tree
+// population.
+type Population struct {
+	Protocol protocol.Protocol
+	Outcomes []TreeOutcome
+}
+
+// ReachedFraction returns the fraction of trees that reached the optimal
+// steady-state rate.
+func (p *Population) ReachedFraction() float64 {
+	n := 0
+	for i := range p.Outcomes {
+		if p.Outcomes[i].Reached {
+			n++
+		}
+	}
+	if len(p.Outcomes) == 0 {
+		return 0
+	}
+	return float64(n) / float64(len(p.Outcomes))
+}
+
+// OnsetCDF returns the paper's Figure 4 curve: the fraction of all trees
+// whose onset window is <= x, for each x in xs (ascending).
+func (p *Population) OnsetCDF(xs []int64) []float64 {
+	c := stats.NewCDF()
+	for i := range p.Outcomes {
+		if p.Outcomes[i].Reached {
+			c.AddReached(int64(p.Outcomes[i].Onset))
+		} else {
+			c.AddNotReached()
+		}
+	}
+	return c.Series(xs)
+}
+
+// MedianOnset returns the median onset window among trees that reached the
+// optimal steady state, quantifying startup length (the paper observes
+// much longer startups under non-IC). It returns 0 when no tree reached.
+func (p *Population) MedianOnset() int64 {
+	var onsets []int64
+	for i := range p.Outcomes {
+		if p.Outcomes[i].Reached {
+			onsets = append(onsets, int64(p.Outcomes[i].Onset))
+		}
+	}
+	if len(onsets) == 0 {
+		return 0
+	}
+	return stats.Median(onsets)
+}
+
+// ReachedWithAtMostBuffers returns the fraction of all trees that both
+// reached the optimal rate and never needed more than n buffered tasks at
+// any single node (Table 1's non-IC row).
+func (p *Population) ReachedWithAtMostBuffers(n int64) float64 {
+	count := 0
+	for i := range p.Outcomes {
+		if p.Outcomes[i].Reached && p.Outcomes[i].MaxNodeUsed <= n {
+			count++
+		}
+	}
+	if len(p.Outcomes) == 0 {
+		return 0
+	}
+	return float64(count) / float64(len(p.Outcomes))
+}
+
+// EvaluateTree runs one protocol on one tree and reduces the run to a
+// TreeOutcome. Checkpoints, when non-nil, are passed through to the engine
+// (Table 2 snapshots buffer usage mid-run); the raw result is returned for
+// experiments that need more than the outcome summary.
+func EvaluateTree(o Options, p protocol.Protocol, index int, checkpoints []int64) (TreeOutcome, *engine.Result, error) {
+	tr := randtree.TreeAt(o.Params, o.Seed, index)
+	res, err := engine.Run(engine.Config{
+		Tree:        tr,
+		Protocol:    p,
+		Tasks:       o.Tasks,
+		Seed:        o.Seed + uint64(index),
+		Checkpoints: checkpoints,
+	})
+	if err != nil {
+		return TreeOutcome{}, nil, fmt.Errorf("tree %d under %v: %w", index, p, err)
+	}
+	opt := optimal.Compute(tr)
+	series, err := window.New(res.Completions, opt.TreeWeight)
+	if err != nil {
+		return TreeOutcome{}, nil, fmt.Errorf("tree %d under %v: %w", index, p, err)
+	}
+	out := TreeOutcome{
+		Index:          index,
+		Nodes:          tr.Len(),
+		Depth:          tr.MaxDepth(),
+		MaxNodeBuffers: res.MaxNodeBuffers(),
+		MaxNodeUsed:    res.MaxNodeUsed(),
+		TotalBuffers:   res.TotalBuffers(),
+		UsedNodes:      res.UsedCount(),
+		UsedDepth:      res.UsedMaxDepth(),
+		Makespan:       res.Makespan,
+	}
+	out.Onset, out.Reached = series.Onset(o.Threshold)
+	return out, res, nil
+}
+
+// RunPopulation evaluates each protocol over the same tree population in
+// parallel and returns one Population per protocol, in order.
+func RunPopulation(o Options, protos []protocol.Protocol) ([]Population, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if len(protos) == 0 {
+		return nil, fmt.Errorf("experiments: no protocols")
+	}
+	out := make([]Population, len(protos))
+	for pi, p := range protos {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		outcomes := make([]TreeOutcome, o.Trees)
+		if err := parallelFor(o.Trees, o.workers(), func(i int) error {
+			oc, _, err := EvaluateTree(o, p, i, nil)
+			outcomes[i] = oc
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		out[pi] = Population{Protocol: p, Outcomes: outcomes}
+	}
+	return out, nil
+}
+
+// parallelFor runs fn(0..n-1) across at most workers goroutines and
+// returns the first error encountered (all workers drain before return, so
+// every index is either processed or abandoned deterministically).
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	grab := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := grab()
+				if !ok {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// gridInt64 returns points spaced evenly from step to max inclusive.
+func gridInt64(max, points int) []int64 {
+	if points < 2 {
+		points = 2
+	}
+	out := make([]int64, points)
+	for i := range out {
+		out[i] = int64((i + 1) * max / points)
+	}
+	return out
+}
+
+// toFloats converts for plotting.
+func toFloats(xs []int64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bwcs/internal/stats"
+	"bwcs/internal/textplot"
+)
+
+// Fig6Result reproduces Figure 6: probability distribution functions of
+// tree size (a) and maximum depth (b), comparing the full platform trees
+// with the "used" subtrees — nodes that actually computed tasks — under
+// non-IC IB=1 and IC FB=3. It reuses Figure 4's populations.
+type Fig6Result struct {
+	Options Options
+	// AllSize/AllDepth histogram every tree in the population.
+	AllSize  *stats.Histogram
+	AllDepth *stats.Histogram
+	// UsedSize/UsedDepth histogram the used-subtree characteristics per
+	// protocol, keyed by protocol label in Labels order.
+	Labels    []string
+	UsedSize  []*stats.Histogram
+	UsedDepth []*stats.Histogram
+}
+
+// Fig6 derives the histograms from Figure 4's populations.
+func Fig6(f4 *Fig4Result) (*Fig6Result, error) {
+	var nonIC, ic3 *Population
+	for i := range f4.Populations {
+		p := &f4.Populations[i]
+		switch {
+		case !p.Protocol.Interruptible && p.Protocol.Grow && p.Protocol.InitialBuffers == 1:
+			nonIC = p
+		case p.Protocol.Interruptible && p.Protocol.InitialBuffers == 3:
+			ic3 = p
+		}
+	}
+	if nonIC == nil || ic3 == nil {
+		return nil, fmt.Errorf("fig6: figure 4 result lacks non-IC IB=1 or IC FB=3")
+	}
+	out := &Fig6Result{
+		Options:  f4.Options,
+		AllSize:  stats.NewHistogram(20),
+		AllDepth: stats.NewHistogram(4),
+	}
+	for i := range nonIC.Outcomes {
+		out.AllSize.Add(int64(nonIC.Outcomes[i].Nodes))
+		out.AllDepth.Add(int64(nonIC.Outcomes[i].Depth))
+	}
+	for _, p := range []*Population{nonIC, ic3} {
+		hs, hd := stats.NewHistogram(20), stats.NewHistogram(4)
+		for i := range p.Outcomes {
+			hs.Add(int64(p.Outcomes[i].UsedNodes))
+			hd.Add(int64(p.Outcomes[i].UsedDepth))
+		}
+		out.Labels = append(out.Labels, p.Protocol.Label)
+		out.UsedSize = append(out.UsedSize, hs)
+		out.UsedDepth = append(out.UsedDepth, hd)
+	}
+	return out, nil
+}
+
+// Render writes both PDF charts and a summary of means.
+func (r *Fig6Result) Render(w io.Writer) error {
+	plot := func(title, xlabel string, all *stats.Histogram, used []*stats.Histogram) error {
+		chart := textplot.NewChart(title, 72, 14).Labels(xlabel, "fraction of trees")
+		add := func(name string, h *stats.Histogram) {
+			pdf := h.PDF()
+			xs := make([]float64, len(pdf))
+			for i := range pdf {
+				xs[i] = h.BinCenter(i)
+			}
+			chart.Line(name, xs, pdf)
+		}
+		add("all nodes", all)
+		for i, h := range used {
+			add("used, "+r.Labels[i], h)
+		}
+		return chart.Render(w)
+	}
+	if err := plot("Figure 6(a): tree size PDF", "nodes in tree", r.AllSize, r.UsedSize); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := plot("Figure 6(b): tree depth PDF", "maximum node depth", r.AllDepth, r.UsedDepth); err != nil {
+		return err
+	}
+	mean := func(h *stats.Histogram) float64 {
+		pdf := h.PDF()
+		m := 0.0
+		for i, p := range pdf {
+			m += p * h.BinCenter(i)
+		}
+		return m
+	}
+	fmt.Fprintf(w, "\nmean tree size %.0f, mean depth %.0f (paper: avg 245 nodes, depths 2..82)\n",
+		mean(r.AllSize), mean(r.AllDepth))
+	for i := range r.Labels {
+		fmt.Fprintf(w, "mean used size %.0f, mean used depth %.0f under %s (paper: >50 nodes, depth ~18)\n",
+			mean(r.UsedSize[i]), mean(r.UsedDepth[i]), r.Labels[i])
+	}
+	return nil
+}

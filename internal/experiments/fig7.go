@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bwcs/internal/engine"
+	"bwcs/internal/optimal"
+	"bwcs/internal/protocol"
+	"bwcs/internal/rational"
+	"bwcs/internal/sim"
+	"bwcs/internal/textplot"
+	"bwcs/internal/tree"
+)
+
+// Fig7Scenario is one curve of the paper's Figure 7: a run on the
+// Figure 1 platform, optionally mutating P1's weights after 200 tasks.
+type Fig7Scenario struct {
+	Name string
+	// Completions[k] is when task k+1 finished; the cumulative-completion
+	// curve of Figure 7 plots (time, k+1).
+	Completions []sim.Time
+	// OptimalBefore and OptimalAfter are the optimal steady-state rates of
+	// the platform before and after the mutation (equal when there is no
+	// mutation); Figure 7's dashed lines have these slopes.
+	OptimalBefore rational.Rat
+	OptimalAfter  rational.Rat
+	// TailRate is the measured rate over the post-mutation tail of the
+	// run, for comparing against OptimalAfter.
+	TailRate float64
+}
+
+// Fig7Result reproduces Figure 7: adaptability of the autonomous protocol
+// to communication contention (c1: 1→3) and processor contention
+// (w1: 3→1), each triggered after 200 completed tasks of a 1000-task run
+// under the non-interruptible protocol with two fixed buffers (as in the
+// paper's Section 4.2.3).
+type Fig7Result struct {
+	Tasks     int64
+	MutateAt  int64
+	Scenarios []Fig7Scenario
+}
+
+// Fig7 runs the adaptability experiment. tasks and mutateAt default to the
+// paper's 1000 and 200 when zero.
+func Fig7(tasks, mutateAt int64) (*Fig7Result, error) {
+	if tasks == 0 {
+		tasks = 1000
+	}
+	if mutateAt == 0 {
+		mutateAt = 200
+	}
+	if mutateAt >= tasks {
+		return nil, fmt.Errorf("fig7: mutation at %d but only %d tasks", mutateAt, tasks)
+	}
+	proto := protocol.NonInterruptibleFixed(2)
+
+	type scenario struct {
+		name string
+		mut  []engine.Mutation
+		alt  func(*tree.Tree) // applies the mutation to a copy for the optimal rate
+	}
+	scenarios := []scenario{
+		{name: "c1=1, w1=3 (baseline)"},
+		{
+			name: "at 200 tasks, c1=3",
+			mut:  []engine.Mutation{{AfterTasks: mutateAt, Node: P1, C: 3}},
+			alt:  func(t *tree.Tree) { t.SetC(P1, 3) },
+		},
+		{
+			name: "at 200 tasks, w1=1",
+			mut:  []engine.Mutation{{AfterTasks: mutateAt, Node: P1, W: 1}},
+			alt:  func(t *tree.Tree) { t.SetW(P1, 1) },
+		},
+	}
+
+	out := &Fig7Result{Tasks: tasks, MutateAt: mutateAt}
+	base := ExampleTree()
+	optBefore := optimal.Compute(base).Rate
+	for _, sc := range scenarios {
+		res, err := engine.Run(engine.Config{
+			Tree:      ExampleTree(),
+			Protocol:  proto,
+			Tasks:     tasks,
+			Mutations: sc.mut,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %q: %w", sc.name, err)
+		}
+		after := optBefore
+		if sc.alt != nil {
+			mutated := ExampleTree()
+			sc.alt(mutated)
+			after = optimal.Compute(mutated).Rate
+		}
+		s := Fig7Scenario{
+			Name:          sc.name,
+			Completions:   res.Completions,
+			OptimalBefore: optBefore,
+			OptimalAfter:  after,
+		}
+		// Measured tail rate: tasks completed per time between the
+		// mutation point (plus slack for re-adaptation) and the end.
+		from := mutateAt + (tasks-mutateAt)/4
+		dt := res.Completions[tasks-1] - res.Completions[from-1]
+		if dt > 0 {
+			s.TailRate = float64(tasks-from) / float64(dt)
+		}
+		out.Scenarios = append(out.Scenarios, s)
+	}
+	return out, nil
+}
+
+// Render writes the Figure 7 report: the cumulative-completion chart and a
+// table of measured tail rates against per-phase optimal rates.
+func (r *Fig7Result) Render(w io.Writer) error {
+	chart := textplot.NewChart("Figure 7: adaptability on the Figure 1 platform (cumulative completions)", 72, 20).
+		Labels("timesteps", "tasks completed")
+	for _, sc := range r.Scenarios {
+		xs := make([]float64, len(sc.Completions))
+		ys := make([]float64, len(sc.Completions))
+		for i, c := range sc.Completions {
+			xs[i] = float64(c)
+			ys[i] = float64(i + 1)
+		}
+		chart.Line(sc.Name, xs, ys)
+	}
+	if err := chart.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%-28s %14s %14s %14s %8s\n", "scenario", "opt before", "opt after", "tail rate", "ratio")
+	for _, sc := range r.Scenarios {
+		ratio := 0.0
+		if f := sc.OptimalAfter.Float64(); f > 0 {
+			ratio = sc.TailRate / f
+		}
+		fmt.Fprintf(w, "%-28s %14s %14s %14.5f %8.3f\n",
+			sc.Name, sc.OptimalBefore.Format(5), sc.OptimalAfter.Format(5), sc.TailRate, ratio)
+	}
+	fmt.Fprintf(w, "\nmutation after %d of %d tasks; protocol %s; ratio = measured tail rate / optimal-after\n",
+		r.MutateAt, r.Tasks, protocol.NonInterruptibleFixed(2))
+	return nil
+}

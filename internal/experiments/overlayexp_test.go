@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOverlayExperiment(t *testing.T) {
+	o := tinyOptions()
+	r, err := Overlay(o, 6)
+	if err != nil {
+		t.Fatalf("Overlay: %v", err)
+	}
+	if r.Graphs != 6 || len(r.MeanNormalized) != len(r.Strategies) {
+		t.Fatalf("result shape wrong: %+v", r)
+	}
+	wins := 0
+	for i, m := range r.MeanNormalized {
+		if m <= 0 || m > 1.0000001 {
+			t.Fatalf("strategy %s mean normalized %v outside (0,1]", r.Strategies[i], m)
+		}
+		wins += r.Wins[i]
+	}
+	// Every graph has at least one winner.
+	if wins < r.Graphs {
+		t.Fatalf("wins %d < graphs %d", wins, r.Graphs)
+	}
+	var buf strings.Builder
+	if err := r.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(buf.String(), "min-comm") {
+		t.Fatalf("render missing strategies")
+	}
+}
+
+func TestOverlayRejectsBadInput(t *testing.T) {
+	if _, err := Overlay(tinyOptions(), 0); err == nil {
+		t.Fatalf("zero graphs accepted")
+	}
+	bad := tinyOptions()
+	bad.Trees = 0
+	if _, err := Overlay(bad, 3); err == nil {
+		t.Fatalf("bad options accepted")
+	}
+}
+
+func TestChurnStudy(t *testing.T) {
+	o := tinyOptions()
+	o.Trees = 6
+	r, err := Churn(o, 4)
+	if err != nil {
+		t.Fatalf("Churn: %v", err)
+	}
+	if !r.Completed {
+		t.Fatalf("churn lost tasks")
+	}
+	if r.MeanSlowdown <= 0 {
+		t.Fatalf("slowdown = %v", r.MeanSlowdown)
+	}
+	if r.MeanRequeuedFraction < 0 || r.MeanRequeuedFraction > 1 {
+		t.Fatalf("requeued fraction = %v", r.MeanRequeuedFraction)
+	}
+	var buf strings.Builder
+	if err := r.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Churn study") {
+		t.Fatalf("render missing title")
+	}
+}
+
+func TestChurnRejectsBadInput(t *testing.T) {
+	if _, err := Churn(tinyOptions(), 1); err == nil {
+		t.Fatalf("too few events accepted")
+	}
+	bad := tinyOptions()
+	bad.Trees = 0
+	if _, err := Churn(bad, 4); err == nil {
+		t.Fatalf("bad options accepted")
+	}
+}
+
+func TestAblationDecay(t *testing.T) {
+	o := tinyOptions()
+	o.Trees = 8
+	r, err := AblationDecay(o)
+	if err != nil {
+		t.Fatalf("AblationDecay: %v", err)
+	}
+	// Retired buffers can regrow if they turn out to be needed, so final
+	// totals only approximately shrink; decay must not inflate them.
+	if r.DecayMeanTotal > r.PlainMeanTotal*1.05 {
+		t.Fatalf("decay inflated buffer usage: %v > %v", r.DecayMeanTotal, r.PlainMeanTotal)
+	}
+	if r.DecayReached < r.PlainReached-0.25 {
+		t.Fatalf("decay collapsed the reached fraction: %v vs %v", r.DecayReached, r.PlainReached)
+	}
+	var buf strings.Builder
+	if err := r.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(buf.String(), "decay") {
+		t.Fatalf("render missing content")
+	}
+}
+
+func TestDetectorStudy(t *testing.T) {
+	o := tinyOptions()
+	o.Trees = 10
+	r, err := Detector(o)
+	if err != nil {
+		t.Fatalf("Detector: %v", err)
+	}
+	total := r.BothOptimal + r.HeuristicOnly + r.ExactOnly + r.NeitherOptimal
+	if total != o.Trees {
+		t.Fatalf("matrix total %d != %d trees", total, o.Trees)
+	}
+	if a := r.Agreement(); a < 0 || a > 1 {
+		t.Fatalf("agreement = %v", a)
+	}
+	var buf strings.Builder
+	if err := r.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Detector study") {
+		t.Fatalf("render missing title")
+	}
+}
+
+func TestDetectorRejectsBadOptions(t *testing.T) {
+	bad := tinyOptions()
+	bad.Trees = 0
+	if _, err := Detector(bad); err == nil {
+		t.Fatalf("bad options accepted")
+	}
+}
+
+func TestOverlayImprove(t *testing.T) {
+	o := tinyOptions()
+	r, err := OverlayImprove(o, 3, 20)
+	if err != nil {
+		t.Fatalf("OverlayImprove: %v", err)
+	}
+	if r.RandomImproved+1e-9 < r.RandomBase {
+		t.Fatalf("search made the random overlay worse: %v < %v", r.RandomImproved, r.RandomBase)
+	}
+	for _, v := range []float64{r.RandomBase, r.RandomImproved, r.MinComm} {
+		if v <= 0 || v > 1.0000001 {
+			t.Fatalf("normalized rate %v outside (0,1]", v)
+		}
+	}
+	var buf strings.Builder
+	if err := r.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(buf.String(), "local search") {
+		t.Fatalf("render missing content")
+	}
+}
+
+func TestOverlayImproveRejectsBadInput(t *testing.T) {
+	if _, err := OverlayImprove(tinyOptions(), 0, 20); err == nil {
+		t.Fatalf("zero graphs accepted")
+	}
+}

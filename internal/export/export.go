@@ -1,0 +1,124 @@
+// Package export writes experiment results in machine-readable formats
+// (CSV and JSON) so sweeps can be analyzed outside this repository —
+// plotted with external tooling, diffed across runs, or archived next to
+// EXPERIMENTS.md.
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"bwcs/internal/experiments"
+	"bwcs/internal/sim"
+)
+
+// PopulationCSV writes one row per tree of a population sweep:
+//
+//	index,nodes,depth,reached,onset,max_node_buffers,max_node_used,total_buffers,used_nodes,used_depth,makespan
+func PopulationCSV(w io.Writer, p *experiments.Population) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"index", "nodes", "depth", "reached", "onset",
+		"max_node_buffers", "max_node_used", "total_buffers",
+		"used_nodes", "used_depth", "makespan",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range p.Outcomes {
+		o := &p.Outcomes[i]
+		row := []string{
+			strconv.Itoa(o.Index),
+			strconv.Itoa(o.Nodes),
+			strconv.Itoa(o.Depth),
+			strconv.FormatBool(o.Reached),
+			strconv.Itoa(o.Onset),
+			strconv.FormatInt(o.MaxNodeBuffers, 10),
+			strconv.FormatInt(o.MaxNodeUsed, 10),
+			strconv.FormatInt(o.TotalBuffers, 10),
+			strconv.Itoa(o.UsedNodes),
+			strconv.Itoa(o.UsedDepth),
+			strconv.FormatInt(int64(o.Makespan), 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SeriesCSV writes aligned series under an x column:
+//
+//	x,<label1>,<label2>,...
+//
+// Every series must have len(xs) points.
+func SeriesCSV(w io.Writer, xName string, xs []int64, labels []string, series [][]float64) error {
+	if len(labels) != len(series) {
+		return fmt.Errorf("export: %d labels but %d series", len(labels), len(series))
+	}
+	for i, s := range series {
+		if len(s) != len(xs) {
+			return fmt.Errorf("export: series %q has %d points, want %d", labels[i], len(s), len(xs))
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{xName}, labels...)); err != nil {
+		return err
+	}
+	row := make([]string, 1+len(series))
+	for i, x := range xs {
+		row[0] = strconv.FormatInt(x, 10)
+		for j := range series {
+			row[1+j] = strconv.FormatFloat(series[j][i], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CompletionsCSV writes a run's completion times, one row per task:
+//
+//	task,time
+func CompletionsCSV(w io.Writer, completions []sim.Time) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"task", "time"}); err != nil {
+		return err
+	}
+	for i, t := range completions {
+		if err := cw.Write([]string{strconv.Itoa(i + 1), strconv.FormatInt(int64(t), 10)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// populationJSON is the JSON wire form of a population.
+type populationJSON struct {
+	Protocol string                    `json:"protocol"`
+	Reached  float64                   `json:"reachedFraction"`
+	Outcomes []experiments.TreeOutcome `json:"outcomes"`
+}
+
+// PopulationsJSON writes population sweeps as a JSON document with one
+// entry per protocol.
+func PopulationsJSON(w io.Writer, pops []experiments.Population) error {
+	out := make([]populationJSON, len(pops))
+	for i := range pops {
+		out[i] = populationJSON{
+			Protocol: pops[i].Protocol.Label,
+			Reached:  pops[i].ReachedFraction(),
+			Outcomes: pops[i].Outcomes,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,223 @@
+// Package optimal implements the bandwidth-centric theorem (Theorem 1 of
+// the paper, from Beaumont, Carter, Ferrante, Legrand and Robert,
+// IPDPS'02): the optimal steady-state task execution rate of a weighted
+// platform tree, and the optimal fluid allocation that attains it.
+//
+// # The theorem
+//
+// For a single-level fork with root P0 (compute time w0, inbound
+// communication time c0) and children P1..Pk with communication times
+// c1 ≤ c2 ≤ ... ≤ ck and compute times w1..wk, the minimal computational
+// weight of the tree (time per task; the optimal rate is its inverse) is
+//
+//	wtree = max(c0, 1 / (1/w0 + Σ_{i=1..p} 1/wi + ε/c_{p+1}))
+//
+// where p is the largest index with Σ_{i=1..p} ci/wi ≤ 1 and
+// ε = 1 − Σ_{i=1..p} ci/wi (ε = 0 if p = k). Intuitively: the children
+// that communicate fastest are fed until the parent's send port saturates;
+// the next child is fed with the leftover port fraction ε; the rest starve
+// regardless of their compute speed — hence "bandwidth-centric".
+//
+// # Multi-level trees
+//
+// A bottom-up traversal applies the fork formula at every node, replacing
+// each child's compute time wi with the computational weight W(i) of the
+// subtree rooted there (which already folds in that child's own inbound
+// link cap, W(i) ≥ c(i)). The root has no inbound link, so its weight has
+// no c0 term. All arithmetic is exact rational arithmetic: the onset
+// detector compares simulated rates to these values and must not be
+// perturbed by rounding.
+package optimal
+
+import (
+	"fmt"
+	"sort"
+
+	"bwcs/internal/rational"
+	"bwcs/internal/tree"
+)
+
+// Allocation is the result of the theorem on a tree: the optimal
+// steady-state weight and rate, and one optimal fluid schedule attaining
+// it.
+type Allocation struct {
+	// TreeWeight is wtree: the steady-state time per task of the whole
+	// tree. Rate is its inverse, the optimal tasks-per-time rate.
+	TreeWeight rational.Rat
+	Rate       rational.Rat
+
+	// SubWeight[i] is W(i), the computational weight of the subtree rooted
+	// at node i as seen through its inbound link: tasks can flow into that
+	// subtree at rate at most 1/W(i).
+	SubWeight []rational.Rat
+
+	// NodeRate[i] is the rate at which node i itself computes tasks in the
+	// optimal schedule. InflowRate[i] is the rate at which tasks flow into
+	// the subtree rooted at i (for the root: the whole tree's rate).
+	NodeRate   []rational.Rat
+	InflowRate []rational.Rat
+
+	// PortBusy[i] is the fraction of time node i's send port is busy in
+	// the optimal schedule; it never exceeds 1.
+	PortBusy []rational.Rat
+}
+
+// NodeClass classifies a node's role in the optimal steady state.
+type NodeClass int
+
+const (
+	// Starved nodes receive no tasks at all: their subtree communicates
+	// too slowly to be worth feeding.
+	Starved NodeClass = iota
+	// Partial nodes compute at a positive rate below their full speed.
+	Partial
+	// Saturated nodes compute continuously (rate = 1/w).
+	Saturated
+)
+
+// String returns the lower-case name of the class.
+func (c NodeClass) String() string {
+	switch c {
+	case Starved:
+		return "starved"
+	case Partial:
+		return "partial"
+	case Saturated:
+		return "saturated"
+	default:
+		return fmt.Sprintf("NodeClass(%d)", int(c))
+	}
+}
+
+// Class returns the classification of node id under this allocation.
+func (a *Allocation) Class(t *tree.Tree, id tree.NodeID) NodeClass {
+	r := a.NodeRate[id]
+	if r.IsZero() {
+		return Starved
+	}
+	if r.Equal(rational.New(1, t.W(id))) {
+		return Saturated
+	}
+	return Partial
+}
+
+// Used reports whether node id computes any tasks in the optimal schedule.
+func (a *Allocation) Used(id tree.NodeID) bool { return !a.NodeRate[id].IsZero() }
+
+// Compute runs the theorem on t and returns the optimal allocation.
+func Compute(t *tree.Tree) *Allocation {
+	n := t.Len()
+	a := &Allocation{
+		SubWeight:  make([]rational.Rat, n),
+		NodeRate:   make([]rational.Rat, n),
+		InflowRate: make([]rational.Rat, n),
+		PortBusy:   make([]rational.Rat, n),
+	}
+
+	// Bottom-up: subtree weights via the fork formula.
+	t.WalkPost(func(id tree.NodeID) {
+		internal := forkWeight(t, id, a.SubWeight)
+		if id == t.Root() {
+			a.SubWeight[id] = internal
+			return
+		}
+		a.SubWeight[id] = rational.Max(rational.FromInt(t.C(id)), internal)
+	})
+	a.TreeWeight = a.SubWeight[t.Root()]
+	a.Rate = a.TreeWeight.Inv()
+
+	// Top-down: distribute the achievable inflow. The root consumes from
+	// the local task pool at the full tree rate.
+	a.InflowRate[t.Root()] = a.Rate
+	t.Walk(func(id tree.NodeID) bool {
+		distribute(t, id, a)
+		return true
+	})
+	return a
+}
+
+// forkWeight applies the single-level formula at node id, using sub[] for
+// already-computed child subtree weights. It returns the internal weight,
+// i.e. without the node's own inbound cap.
+func forkWeight(t *tree.Tree, id tree.NodeID, sub []rational.Rat) rational.Rat {
+	// rate accumulates 1/w0 + Σ 1/W(i) + ε/c_{p+1}; budget is the
+	// remaining send-port fraction.
+	rate := rational.New(1, t.W(id))
+	budget := rational.One()
+	for _, child := range sortedByComm(t, id) {
+		c := rational.FromInt(t.C(child))
+		need := c.Div(sub[child]) // port fraction to keep this subtree saturated
+		if need.LessEq(budget) {
+			rate = rate.Add(sub[child].Inv())
+			budget = budget.Sub(need)
+			continue
+		}
+		// Partially fed child: leftover port fraction ε buys ε/c tasks
+		// per time; everyone after starves.
+		if budget.Sign() > 0 {
+			rate = rate.Add(budget.Div(c))
+		}
+		break
+	}
+	return rate.Inv()
+}
+
+// distribute splits node id's inflow between its own CPU and its children
+// in bandwidth-centric priority order, filling NodeRate, InflowRate and
+// PortBusy. Children of starved/partial nodes receive what is left after
+// the node's own CPU, mirroring the protocols (the local CPU has
+// communication cost zero, so it has top priority).
+func distribute(t *tree.Tree, id tree.NodeID, a *Allocation) {
+	inflow := a.InflowRate[id]
+	own := rational.Min(rational.New(1, t.W(id)), inflow)
+	a.NodeRate[id] = own
+	remaining := inflow.Sub(own)
+	budget := rational.One()
+	busy := rational.Zero()
+	for _, child := range sortedByComm(t, id) {
+		if remaining.Sign() <= 0 || budget.Sign() <= 0 {
+			a.InflowRate[child] = rational.Zero()
+			continue
+		}
+		c := rational.FromInt(t.C(child))
+		give := rational.Min(a.SubWeight[child].Inv(), remaining)
+		give = rational.Min(give, budget.Div(c))
+		a.InflowRate[child] = give
+		remaining = remaining.Sub(give)
+		cost := c.Mul(give)
+		budget = budget.Sub(cost)
+		busy = busy.Add(cost)
+	}
+	a.PortBusy[id] = busy
+}
+
+// sortedByComm returns the children of id ordered by increasing
+// communication time, breaking ties by node ID so results are
+// deterministic. This is the bandwidth-centric priority order.
+func sortedByComm(t *tree.Tree, id tree.NodeID) []tree.NodeID {
+	kids := append([]tree.NodeID(nil), t.Children(id)...)
+	sort.Slice(kids, func(i, j int) bool {
+		ci, cj := t.C(kids[i]), t.C(kids[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return kids[i] < kids[j]
+	})
+	return kids
+}
+
+// Fork computes Theorem 1 directly for a single-level fork, given the
+// root's inbound communication time c0 (0 when the root is the platform
+// root), its compute time w0, and each child's (w, c). It exists for
+// exposition and testing; Compute subsumes it.
+func Fork(c0, w0 int64, children [][2]int64) rational.Rat {
+	t := tree.New(w0)
+	for _, wc := range children {
+		t.AddChild(t.Root(), wc[0], wc[1])
+	}
+	internal := Compute(t).TreeWeight
+	if c0 > 0 {
+		return rational.Max(rational.FromInt(c0), internal)
+	}
+	return internal
+}

@@ -1,0 +1,127 @@
+package overlay
+
+import (
+	"fmt"
+
+	"bwcs/internal/optimal"
+	"bwcs/internal/rational"
+	"bwcs/internal/tree"
+)
+
+// ImproveResult is the outcome of local-search overlay optimization.
+type ImproveResult struct {
+	Tree   *tree.Tree
+	HostOf []int
+	Rate   rational.Rat
+	// Moves is the number of accepted re-parenting moves.
+	Moves int
+}
+
+// Improve hill-climbs an overlay built by the given strategy: it
+// repeatedly tries re-parenting one host (with its entire subtree) onto a
+// physical neighbour outside that subtree, and accepts any move that
+// strictly raises the tree's optimal steady-state rate, until no move
+// improves or maxMoves have been accepted (0 = no limit). First-improvement
+// search; deterministic given the inputs.
+//
+// This extends the paper's future-work question "on what basis the overlay
+// network should be constructed": construction strategies give starting
+// points, and local search quantifies how much headroom each leaves.
+func Improve(g *Graph, root int, s Strategy, seed uint64, maxMoves int) (*ImproveResult, error) {
+	t, hostOf, err := Build(g, root, s, seed)
+	if err != nil {
+		return nil, err
+	}
+	parent, cost, err := parentArrays(g, t, hostOf)
+	if err != nil {
+		return nil, err
+	}
+
+	// Cheapest physical link between each adjacent host pair.
+	minLink := make(map[[2]int]int64)
+	for u := 0; u < g.Hosts(); u++ {
+		for _, l := range g.adj[u] {
+			k := [2]int{u, l.to}
+			if cur, ok := minLink[k]; !ok || l.c < cur {
+				minLink[k] = l.c
+			}
+		}
+	}
+
+	rate := overlayRate(g, root, parent, cost)
+	moves := 0
+	improved := true
+	for improved && (maxMoves <= 0 || moves < maxMoves) {
+		improved = false
+		for v := 0; v < g.Hosts() && !improved; v++ {
+			if v == root {
+				continue
+			}
+			for _, l := range g.adj[v] {
+				u := l.to
+				if u == parent[v] || inSubtree(parent, v, u) {
+					continue
+				}
+				c := minLink[[2]int{u, v}]
+				oldParent, oldCost := parent[v], cost[v]
+				parent[v], cost[v] = u, c
+				if candidate := overlayRate(g, root, parent, cost); rate.Less(candidate) {
+					rate = candidate
+					moves++
+					improved = true
+					break
+				}
+				parent[v], cost[v] = oldParent, oldCost
+			}
+		}
+	}
+
+	finalTree, finalHosts, err := grow(g, root, parent, cost)
+	if err != nil {
+		return nil, err
+	}
+	return &ImproveResult{Tree: finalTree, HostOf: finalHosts, Rate: rate, Moves: moves}, nil
+}
+
+// parentArrays converts a built overlay back into host-indexed parent and
+// cost arrays.
+func parentArrays(g *Graph, t *tree.Tree, hostOf []int) (parent []int, cost []int64, err error) {
+	if len(hostOf) != g.Hosts() || t.Len() != g.Hosts() {
+		return nil, nil, fmt.Errorf("overlay: tree/host mapping size mismatch")
+	}
+	parent = make([]int, g.Hosts())
+	cost = make([]int64, g.Hosts())
+	for i := range parent {
+		parent[i] = -1
+	}
+	for node := tree.NodeID(0); int(node) < t.Len(); node++ {
+		h := hostOf[node]
+		if p := t.Parent(node); p != tree.None {
+			parent[h] = hostOf[p]
+			cost[h] = t.C(node)
+		}
+	}
+	return parent, cost, nil
+}
+
+// inSubtree reports whether candidate lies in the subtree rooted at v
+// under the parent array (i.e. v is an ancestor of candidate or equal).
+func inSubtree(parent []int, v, candidate int) bool {
+	for h := candidate; h >= 0; h = parent[h] {
+		if h == v {
+			return true
+		}
+	}
+	return false
+}
+
+// overlayRate evaluates the optimal steady-state rate of the overlay
+// described by the parent arrays.
+func overlayRate(g *Graph, root int, parent []int, cost []int64) rational.Rat {
+	t, _, err := grow(g, root, parent, cost)
+	if err != nil {
+		// Unreachable for valid move generation; surface loudly in tests.
+		panic(err)
+	}
+	return optimal.Compute(t).Rate
+}

@@ -1,0 +1,80 @@
+package overlay
+
+import (
+	"testing"
+
+	"bwcs/internal/optimal"
+)
+
+func TestImproveNeverDecreasesRate(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		g := Random(RandomParams{Hosts: 30, MinComm: 1, MaxComm: 60, Comp: 800, ExtraLinks: 60}, seed)
+		for _, s := range Strategies() {
+			base, _, err := Build(g, 0, s, seed)
+			if err != nil {
+				t.Fatalf("%s: %v", s, err)
+			}
+			baseRate := optimal.Compute(base).Rate
+			res, err := Improve(g, 0, s, seed, 0)
+			if err != nil {
+				t.Fatalf("%s: Improve: %v", s, err)
+			}
+			if res.Rate.Less(baseRate) {
+				t.Fatalf("seed %d %s: improved rate %v below base %v", seed, s, res.Rate, baseRate)
+			}
+			if err := res.Tree.Validate(); err != nil {
+				t.Fatalf("%s: improved tree invalid: %v", s, err)
+			}
+			if res.Tree.Len() != g.Hosts() {
+				t.Fatalf("%s: improved tree dropped hosts: %d of %d", s, res.Tree.Len(), g.Hosts())
+			}
+			// Rate reported matches the tree returned.
+			if !optimal.Compute(res.Tree).Rate.Equal(res.Rate) {
+				t.Fatalf("%s: reported rate disagrees with tree", s)
+			}
+		}
+	}
+}
+
+func TestImproveFixesBadOverlay(t *testing.T) {
+	// A graph where random spanning trees are usually poor: a hub with
+	// cheap links plus expensive shortcuts. Local search must close most
+	// of the gap to the best constructive strategy.
+	g := Random(RandomParams{Hosts: 40, MinComm: 1, MaxComm: 80, Comp: 500, ExtraLinks: 120}, 9)
+	worst, _, err := Build(g, 0, RandomSpanning, 9)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	worstRate := optimal.Compute(worst).Rate
+	res, err := Improve(g, 0, RandomSpanning, 9, 0)
+	if err != nil {
+		t.Fatalf("Improve: %v", err)
+	}
+	if !worstRate.Less(res.Rate) {
+		t.Fatalf("local search found no improvement over a random spanning tree (rate %v)", worstRate)
+	}
+	if res.Moves == 0 {
+		t.Fatalf("no moves accepted despite rate change")
+	}
+}
+
+func TestImproveMoveBudget(t *testing.T) {
+	g := Random(RandomParams{Hosts: 30, MinComm: 1, MaxComm: 80, Comp: 500, ExtraLinks: 80}, 5)
+	res, err := Improve(g, 0, RandomSpanning, 5, 2)
+	if err != nil {
+		t.Fatalf("Improve: %v", err)
+	}
+	if res.Moves > 2 {
+		t.Fatalf("budget exceeded: %d moves", res.Moves)
+	}
+}
+
+func TestImproveErrors(t *testing.T) {
+	g := diamond()
+	if _, err := Improve(g, 99, BFS, 0, 0); err == nil {
+		t.Fatalf("bad root accepted")
+	}
+	if _, err := Improve(g, 0, Strategy("nope"), 0, 0); err == nil {
+		t.Fatalf("unknown strategy accepted")
+	}
+}

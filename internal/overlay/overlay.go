@@ -1,0 +1,378 @@
+// Package overlay addresses the paper's stated future work: "One question
+// we have not addressed is that of the tree overlay network. Some trees
+// are bound to be more effective than others."
+//
+// It models the physical platform as an undirected host graph with
+// per-host compute times and per-link communication times, and builds
+// candidate tree overlays rooted at the data repository with several
+// strategies. Overlay quality is judged by the optimal steady-state rate
+// of the resulting tree (package optimal) — the rate an ideal scheduler
+// could extract — which is exactly the figure of merit the paper's
+// protocols then approach autonomously.
+//
+// Spanning strategies (BFS, MinComm, RandomSpanning) use physical links
+// only, as in the paper's Figure 1. The Star strategy routes overlay edges
+// over shortest physical paths (cost = summed link time), modeling
+// tunneled connections to the repository.
+package overlay
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+
+	"bwcs/internal/optimal"
+	"bwcs/internal/rational"
+	"bwcs/internal/tree"
+)
+
+// Graph is an undirected host graph. Hosts are numbered 0..n-1.
+type Graph struct {
+	compute []int64
+	adj     [][]link
+}
+
+type link struct {
+	to int
+	c  int64
+}
+
+// NewGraph returns a graph over len(computeTimes) hosts with no links.
+// Every compute time must be positive.
+func NewGraph(computeTimes []int64) *Graph {
+	if len(computeTimes) == 0 {
+		panic("overlay: no hosts")
+	}
+	for i, w := range computeTimes {
+		if w <= 0 {
+			panic(fmt.Sprintf("overlay: host %d compute time %d must be positive", i, w))
+		}
+	}
+	g := &Graph{
+		compute: append([]int64(nil), computeTimes...),
+		adj:     make([][]link, len(computeTimes)),
+	}
+	return g
+}
+
+// Hosts returns the number of hosts.
+func (g *Graph) Hosts() int { return len(g.compute) }
+
+// Compute returns host h's task compute time.
+func (g *Graph) Compute(h int) int64 { return g.compute[h] }
+
+// AddLink adds an undirected link between a and b with task communication
+// time c. Parallel links are allowed; strategies use the cheapest.
+func (g *Graph) AddLink(a, b int, c int64) {
+	if a == b {
+		panic("overlay: self link")
+	}
+	if a < 0 || a >= len(g.adj) || b < 0 || b >= len(g.adj) {
+		panic(fmt.Sprintf("overlay: link %d-%d outside 0..%d", a, b, len(g.adj)-1))
+	}
+	if c <= 0 {
+		panic(fmt.Sprintf("overlay: link time %d must be positive", c))
+	}
+	g.adj[a] = append(g.adj[a], link{to: b, c: c})
+	g.adj[b] = append(g.adj[b], link{to: a, c: c})
+}
+
+// Connected reports whether every host is reachable from host 0.
+func (g *Graph) Connected() bool {
+	seen := make([]bool, g.Hosts())
+	stack := []int{0}
+	seen[0] = true
+	count := 0
+	for len(stack) > 0 {
+		h := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, l := range g.adj[h] {
+			if !seen[l.to] {
+				seen[l.to] = true
+				stack = append(stack, l.to)
+			}
+		}
+	}
+	return count == g.Hosts()
+}
+
+// RandomParams configures Random graph generation.
+type RandomParams struct {
+	Hosts      int
+	MinComm    int64 // link times uniform in [MinComm, MaxComm]
+	MaxComm    int64
+	Comp       int64 // compute times uniform in [Comp/100, Comp], as in randtree
+	ExtraLinks int   // links beyond the connecting spanning set
+}
+
+// Random generates a connected random host graph: a random spanning tree
+// plus ExtraLinks additional random links, with weights drawn as in the
+// paper's tree generator.
+func Random(p RandomParams, seed uint64) *Graph {
+	if p.Hosts < 1 || p.MinComm < 1 || p.MaxComm < p.MinComm || p.Comp < 1 || p.ExtraLinks < 0 {
+		panic(fmt.Sprintf("overlay: bad random params %+v", p))
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x2545f4914f6cdd1d))
+	lo := p.Comp / 100
+	if lo < 1 {
+		lo = 1
+	}
+	compute := make([]int64, p.Hosts)
+	for i := range compute {
+		compute[i] = lo + rng.Int64N(p.Comp-lo+1)
+	}
+	g := NewGraph(compute)
+	c := func() int64 { return p.MinComm + rng.Int64N(p.MaxComm-p.MinComm+1) }
+	// Random connecting set: attach each host i>0 to a random earlier one.
+	for i := 1; i < p.Hosts; i++ {
+		g.AddLink(i, rng.IntN(i), c())
+	}
+	for i := 0; i < p.ExtraLinks && p.Hosts > 2; i++ {
+		a := rng.IntN(p.Hosts)
+		b := rng.IntN(p.Hosts)
+		if a == b {
+			continue
+		}
+		g.AddLink(a, b, c())
+	}
+	return g
+}
+
+// Strategy names an overlay construction method.
+type Strategy string
+
+const (
+	// BFS builds a breadth-first spanning tree from the root: few hops,
+	// arbitrary link costs.
+	BFS Strategy = "bfs"
+	// MinComm builds the minimum-communication spanning tree (Prim),
+	// greedily favouring the cheapest links.
+	MinComm Strategy = "min-comm"
+	// RandomSpanning builds a random spanning tree, the unengineered
+	// baseline.
+	RandomSpanning Strategy = "random"
+	// Star connects every host directly to the root over its shortest
+	// physical path (Dijkstra cost as overlay edge weight), maximizing
+	// parallel feeding at the price of congestion-oblivious long edges.
+	Star Strategy = "star"
+)
+
+// Strategies lists all construction methods in a stable order.
+func Strategies() []Strategy {
+	return []Strategy{BFS, MinComm, RandomSpanning, Star}
+}
+
+// Build constructs the overlay tree for the strategy, rooted at host root.
+// hostOf maps each tree node back to its host. The graph must be
+// connected.
+func Build(g *Graph, root int, s Strategy, seed uint64) (t *tree.Tree, hostOf []int, err error) {
+	if root < 0 || root >= g.Hosts() {
+		return nil, nil, fmt.Errorf("overlay: root %d outside 0..%d", root, g.Hosts()-1)
+	}
+	if !g.Connected() {
+		return nil, nil, fmt.Errorf("overlay: graph not connected")
+	}
+	switch s {
+	case BFS:
+		return buildBFS(g, root)
+	case MinComm:
+		return buildPrim(g, root)
+	case RandomSpanning:
+		return buildRandom(g, root, seed)
+	case Star:
+		return buildStar(g, root)
+	default:
+		return nil, nil, fmt.Errorf("overlay: unknown strategy %q", s)
+	}
+}
+
+// grow converts parent/cost arrays into a tree.Tree rooted at root.
+func grow(g *Graph, root int, parent []int, cost []int64) (*tree.Tree, []int, error) {
+	t := tree.New(g.compute[root])
+	ids := make([]tree.NodeID, g.Hosts())
+	hostOf := []int{root}
+	for i := range ids {
+		ids[i] = tree.None
+	}
+	ids[root] = t.Root()
+	// Repeatedly attach hosts whose parents are already in the tree.
+	remaining := g.Hosts() - 1
+	for remaining > 0 {
+		progress := false
+		for h := 0; h < g.Hosts(); h++ {
+			if ids[h] != tree.None || h == root {
+				continue
+			}
+			p := parent[h]
+			if p < 0 || ids[p] == tree.None {
+				continue
+			}
+			ids[h] = t.AddChild(ids[p], g.compute[h], cost[h])
+			hostOf = append(hostOf, h)
+			remaining--
+			progress = true
+		}
+		if !progress {
+			return nil, nil, fmt.Errorf("overlay: disconnected parent assignment")
+		}
+	}
+	return t, hostOf, nil
+}
+
+func buildBFS(g *Graph, root int) (*tree.Tree, []int, error) {
+	parent := make([]int, g.Hosts())
+	cost := make([]int64, g.Hosts())
+	for i := range parent {
+		parent[i] = -1
+	}
+	queue := []int{root}
+	visited := make([]bool, g.Hosts())
+	visited[root] = true
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		for _, l := range g.adj[h] {
+			if visited[l.to] {
+				continue
+			}
+			visited[l.to] = true
+			parent[l.to] = h
+			cost[l.to] = l.c
+			queue = append(queue, l.to)
+		}
+	}
+	return grow(g, root, parent, cost)
+}
+
+// pqItem is a priority-queue entry shared by Prim and Dijkstra.
+type pqItem struct {
+	host int
+	key  int64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].key < q[j].key }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+func buildPrim(g *Graph, root int) (*tree.Tree, []int, error) {
+	const inf = int64(1) << 62
+	parent := make([]int, g.Hosts())
+	cost := make([]int64, g.Hosts())
+	inTree := make([]bool, g.Hosts())
+	for i := range parent {
+		parent[i] = -1
+		cost[i] = inf
+	}
+	cost[root] = 0
+	q := &pq{{root, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if inTree[it.host] {
+			continue
+		}
+		inTree[it.host] = true
+		for _, l := range g.adj[it.host] {
+			if !inTree[l.to] && l.c < cost[l.to] {
+				cost[l.to] = l.c
+				parent[l.to] = it.host
+				heap.Push(q, pqItem{l.to, l.c})
+			}
+		}
+	}
+	return grow(g, root, parent, cost)
+}
+
+func buildRandom(g *Graph, root int, seed uint64) (*tree.Tree, []int, error) {
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	parent := make([]int, g.Hosts())
+	cost := make([]int64, g.Hosts())
+	for i := range parent {
+		parent[i] = -1
+	}
+	visited := make([]bool, g.Hosts())
+	visited[root] = true
+	frontier := []int{root}
+	for len(frontier) > 0 {
+		// Pick a random visited host with an unvisited neighbour.
+		i := rng.IntN(len(frontier))
+		h := frontier[i]
+		var cands []link
+		for _, l := range g.adj[h] {
+			if !visited[l.to] {
+				cands = append(cands, l)
+			}
+		}
+		if len(cands) == 0 {
+			frontier[i] = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			continue
+		}
+		l := cands[rng.IntN(len(cands))]
+		visited[l.to] = true
+		parent[l.to] = h
+		cost[l.to] = l.c
+		frontier = append(frontier, l.to)
+	}
+	return grow(g, root, parent, cost)
+}
+
+func buildStar(g *Graph, root int) (*tree.Tree, []int, error) {
+	// Dijkstra from the root; each host becomes a direct child with the
+	// shortest-path cost as its communication weight.
+	const inf = int64(1) << 62
+	dist := make([]int64, g.Hosts())
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[root] = 0
+	q := &pq{{root, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.key > dist[it.host] {
+			continue
+		}
+		for _, l := range g.adj[it.host] {
+			if d := it.key + l.c; d < dist[l.to] {
+				dist[l.to] = d
+				heap.Push(q, pqItem{l.to, d})
+			}
+		}
+	}
+	parent := make([]int, g.Hosts())
+	for i := range parent {
+		parent[i] = root
+	}
+	parent[root] = -1
+	return grow(g, root, parent, dist)
+}
+
+// Comparison is the optimal steady-state rate each strategy achieves on
+// one graph.
+type Comparison struct {
+	Strategy Strategy
+	Rate     rational.Rat
+	Depth    int
+}
+
+// Compare builds every strategy's overlay on g and returns their optimal
+// rates, in Strategies() order.
+func Compare(g *Graph, root int, seed uint64) ([]Comparison, error) {
+	var out []Comparison
+	for _, s := range Strategies() {
+		t, _, err := Build(g, root, s, seed)
+		if err != nil {
+			return nil, fmt.Errorf("overlay %s: %w", s, err)
+		}
+		out = append(out, Comparison{
+			Strategy: s,
+			Rate:     optimal.Compute(t).Rate,
+			Depth:    t.MaxDepth(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,207 @@
+package overlay
+
+import (
+	"testing"
+
+	"bwcs/internal/optimal"
+	"bwcs/internal/tree"
+)
+
+// diamond returns a 4-host graph:
+//
+//	0 --1-- 1 --1-- 3
+//	0 --5-- 2 --1-- 3
+func diamond() *Graph {
+	g := NewGraph([]int64{10, 10, 10, 10})
+	g.AddLink(0, 1, 1)
+	g.AddLink(1, 3, 1)
+	g.AddLink(0, 2, 5)
+	g.AddLink(2, 3, 1)
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := diamond()
+	if g.Hosts() != 4 {
+		t.Fatalf("Hosts = %d", g.Hosts())
+	}
+	if g.Compute(2) != 10 {
+		t.Fatalf("Compute(2) = %d", g.Compute(2))
+	}
+	if !g.Connected() {
+		t.Fatalf("diamond not connected")
+	}
+	lonely := NewGraph([]int64{1, 1})
+	if lonely.Connected() {
+		t.Fatalf("linkless graph reported connected")
+	}
+}
+
+func TestGraphPanics(t *testing.T) {
+	cases := map[string]func(){
+		"no hosts":     func() { NewGraph(nil) },
+		"zero compute": func() { NewGraph([]int64{0}) },
+		"self link":    func() { diamond().AddLink(1, 1, 1) },
+		"bad host":     func() { diamond().AddLink(0, 9, 1) },
+		"zero cost":    func() { diamond().AddLink(0, 1, 0) },
+		"bad params":   func() { Random(RandomParams{}, 1) },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestBuildStrategiesProduceValidSpanningTrees(t *testing.T) {
+	g := Random(RandomParams{Hosts: 40, MinComm: 1, MaxComm: 30, Comp: 500, ExtraLinks: 60}, 9)
+	for _, s := range Strategies() {
+		tr, hostOf, err := Build(g, 0, s, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: invalid tree: %v", s, err)
+		}
+		if tr.Len() != g.Hosts() {
+			t.Fatalf("%s: tree has %d nodes, want %d", s, tr.Len(), g.Hosts())
+		}
+		if len(hostOf) != g.Hosts() {
+			t.Fatalf("%s: hostOf has %d entries", s, len(hostOf))
+		}
+		seen := make([]bool, g.Hosts())
+		for node, h := range hostOf {
+			if seen[h] {
+				t.Fatalf("%s: host %d mapped twice", s, h)
+			}
+			seen[h] = true
+			if tr.W(tree.NodeID(node)) != g.Compute(h) {
+				t.Fatalf("%s: node %d compute mismatch", s, node)
+			}
+		}
+	}
+}
+
+func TestBFSMinimizesHops(t *testing.T) {
+	g := diamond()
+	tr, _, err := Build(g, 0, BFS, 0)
+	if err != nil {
+		t.Fatalf("BFS: %v", err)
+	}
+	if tr.MaxDepth() != 2 {
+		t.Fatalf("BFS depth = %d, want 2", tr.MaxDepth())
+	}
+}
+
+func TestStarIsFlatWithRoutedCosts(t *testing.T) {
+	g := diamond()
+	tr, hostOf, err := Build(g, 0, Star, 0)
+	if err != nil {
+		t.Fatalf("Star: %v", err)
+	}
+	if tr.MaxDepth() != 1 {
+		t.Fatalf("Star depth = %d, want 1", tr.MaxDepth())
+	}
+	// Host 3's shortest path is 0-1-3 with cost 2.
+	for node, h := range hostOf {
+		if h == 3 && tr.C(tree.NodeID(node)) != 2 {
+			t.Fatalf("host 3 routed cost = %d, want 2", tr.C(tree.NodeID(node)))
+		}
+	}
+}
+
+func TestMinCommPicksCheapLinks(t *testing.T) {
+	g := diamond()
+	tr, hostOf, err := Build(g, 0, MinComm, 0)
+	if err != nil {
+		t.Fatalf("MinComm: %v", err)
+	}
+	// The expensive 0-2 (cost 5) link must be avoided: host 2 attaches via
+	// 3 with cost 1.
+	var total int64
+	tr.Walk(func(id tree.NodeID) bool {
+		total += tr.C(id)
+		return true
+	})
+	if total != 3 {
+		t.Fatalf("MinComm total link cost = %d, want 3", total)
+	}
+	_ = hostOf
+}
+
+func TestBuildErrors(t *testing.T) {
+	g := diamond()
+	if _, _, err := Build(g, 9, BFS, 0); err == nil {
+		t.Fatalf("bad root accepted")
+	}
+	if _, _, err := Build(g, 0, Strategy("nope"), 0); err == nil {
+		t.Fatalf("unknown strategy accepted")
+	}
+	disc := NewGraph([]int64{1, 1})
+	if _, _, err := Build(disc, 0, BFS, 0); err == nil {
+		t.Fatalf("disconnected graph accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	g := Random(RandomParams{Hosts: 60, MinComm: 1, MaxComm: 50, Comp: 2000, ExtraLinks: 120}, 5)
+	comps, err := Compare(g, 0, 1)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(comps) != len(Strategies()) {
+		t.Fatalf("comparisons = %d", len(comps))
+	}
+	for _, c := range comps {
+		if c.Rate.Sign() <= 0 {
+			t.Fatalf("%s: non-positive rate", c.Strategy)
+		}
+	}
+	// Every overlay is bounded by the sum of all CPU rates.
+	var allCPU float64
+	for h := 0; h < g.Hosts(); h++ {
+		allCPU += 1 / float64(g.Compute(h))
+	}
+	for _, c := range comps {
+		if c.Rate.Float64() > allCPU*1.0001 {
+			t.Fatalf("%s: rate %v above CPU bound %v", c.Strategy, c.Rate.Float64(), allCPU)
+		}
+	}
+}
+
+func TestRandomGraphsAreConnectedAndDeterministic(t *testing.T) {
+	p := RandomParams{Hosts: 30, MinComm: 1, MaxComm: 9, Comp: 300, ExtraLinks: 10}
+	a := Random(p, 42)
+	b := Random(p, 42)
+	if !a.Connected() {
+		t.Fatalf("random graph disconnected")
+	}
+	for h := 0; h < p.Hosts; h++ {
+		if a.Compute(h) != b.Compute(h) {
+			t.Fatalf("same-seed graphs differ at host %d", h)
+		}
+	}
+	ta, _, _ := Build(a, 0, MinComm, 0)
+	tb, _, _ := Build(b, 0, MinComm, 0)
+	if !optimal.Compute(ta).Rate.Equal(optimal.Compute(tb).Rate) {
+		t.Fatalf("same-seed overlays differ")
+	}
+}
+
+func TestSingleHostGraph(t *testing.T) {
+	g := NewGraph([]int64{7})
+	for _, s := range Strategies() {
+		tr, _, err := Build(g, 0, s, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if tr.Len() != 1 {
+			t.Fatalf("%s: %d nodes", s, tr.Len())
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package randtree implements the paper's random platform generator
+// (Section 4.1).
+//
+// Each tree is described by five parameters (m, n, b, d, x):
+//
+//   - the tree has a random number of nodes between m and n;
+//   - after creating the nodes, edges are chosen one by one between two
+//     randomly chosen nodes, provided the edge does not create a cycle,
+//     until the nodes form a single tree;
+//   - each link gets a random task communication time between b and d;
+//   - each node gets a random task computation time between x/100 and x.
+//
+// All distributions are uniform, matching the paper. The paper's default
+// parameters are m=10, n=500, b=1, d=100, x=10000 (Defaults), which
+// produced trees averaging 245 nodes with depths from 2 to 82; this
+// generator reproduces those characteristics (see the package tests).
+//
+// Generation is deterministic given a seed, so experiment sweeps are
+// reproducible and individual trees can be regenerated from their index.
+package randtree
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"bwcs/internal/tree"
+)
+
+// Params holds the five generator parameters of the paper plus a seed.
+type Params struct {
+	MinNodes int   // m: minimum number of nodes (inclusive)
+	MaxNodes int   // n: maximum number of nodes (inclusive)
+	MinComm  int64 // b: minimum task communication time (inclusive)
+	MaxComm  int64 // d: maximum task communication time (inclusive)
+	Comp     int64 // x: task computation times are uniform in [x/100, x]
+}
+
+// Defaults returns the paper's simulation parameters:
+// m=10, n=500, b=1, d=100, x=10000.
+func Defaults() Params {
+	return Params{MinNodes: 10, MaxNodes: 500, MinComm: 1, MaxComm: 100, Comp: 10_000}
+}
+
+// WithComp returns p with the computation parameter x replaced. The
+// paper's Figure 5 and Table 2 sweep x over {500, 1000, 5000, 10000}.
+func (p Params) WithComp(x int64) Params {
+	p.Comp = x
+	return p
+}
+
+// Validate reports whether the parameters describe a generable platform.
+func (p Params) Validate() error {
+	if p.MinNodes < 1 {
+		return fmt.Errorf("randtree: MinNodes %d < 1", p.MinNodes)
+	}
+	if p.MaxNodes < p.MinNodes {
+		return fmt.Errorf("randtree: MaxNodes %d < MinNodes %d", p.MaxNodes, p.MinNodes)
+	}
+	if p.MinComm < 1 {
+		return fmt.Errorf("randtree: MinComm %d < 1", p.MinComm)
+	}
+	if p.MaxComm < p.MinComm {
+		return fmt.Errorf("randtree: MaxComm %d < MinComm %d", p.MaxComm, p.MinComm)
+	}
+	if p.Comp < 1 {
+		return fmt.Errorf("randtree: Comp %d < 1", p.Comp)
+	}
+	return nil
+}
+
+// minComp returns the lower bound of the computation-time range, x/100,
+// clamped to at least 1 so weights stay positive for small x.
+func (p Params) minComp() int64 {
+	lo := p.Comp / 100
+	if lo < 1 {
+		lo = 1
+	}
+	return lo
+}
+
+// Generator produces random trees. It is not safe for concurrent use; give
+// each goroutine its own Generator (New is cheap).
+type Generator struct {
+	params Params
+	rng    *rand.Rand
+}
+
+// New returns a deterministic generator for the given parameters and seed.
+// It panics if the parameters do not validate; generator parameters are
+// chosen by code, not by external input.
+func New(p Params, seed uint64) *Generator {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Generator{params: p, rng: rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))}
+}
+
+// Params returns the generator's parameters.
+func (g *Generator) Params() Params { return g.params }
+
+// uniform returns a uniform random value in [lo, hi].
+func (g *Generator) uniform(lo, hi int64) int64 {
+	return lo + g.rng.Int64N(hi-lo+1)
+}
+
+// Tree generates the next random tree.
+//
+// The construction follows the paper: nodes are created first, then random
+// edges are accepted whenever they join two distinct components (union-
+// find), until a spanning tree forms. Node 0 is designated the root (the
+// data repository) and the tree is oriented away from it.
+func (g *Generator) Tree() *tree.Tree {
+	n := int(g.uniform(int64(g.params.MinNodes), int64(g.params.MaxNodes)))
+	adj := g.spanningEdges(n)
+
+	// Orient the undirected spanning tree away from node 0 by BFS, mapping
+	// original node indices to dense tree IDs.
+	w := func() int64 { return g.uniform(g.params.minComp(), g.params.Comp) }
+	c := func() int64 { return g.uniform(g.params.MinComm, g.params.MaxComm) }
+
+	t := tree.New(w())
+	ids := make([]tree.NodeID, n)
+	for i := range ids {
+		ids[i] = tree.None
+	}
+	ids[0] = t.Root()
+	queue := []int{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if ids[v] != tree.None {
+				continue
+			}
+			ids[v] = t.AddChild(ids[u], w(), c())
+			queue = append(queue, v)
+		}
+	}
+	return t
+}
+
+// spanningEdges returns an adjacency list of a uniform-ish random spanning
+// structure built by the paper's accept/reject process: repeatedly pick two
+// random nodes and connect them if they are in different components.
+func (g *Generator) spanningEdges(n int) [][]int {
+	parent := make([]int, n)
+	rank := make([]int8, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(a int) int {
+		for parent[a] != a {
+			parent[a] = parent[parent[a]] // path halving
+			a = parent[a]
+		}
+		return a
+	}
+	union := func(a, b int) bool {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return false
+		}
+		if rank[ra] < rank[rb] {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		if rank[ra] == rank[rb] {
+			rank[ra]++
+		}
+		return true
+	}
+
+	adj := make([][]int, n)
+	edges := 0
+	for edges < n-1 {
+		u := g.rng.IntN(n)
+		v := g.rng.IntN(n)
+		if u == v || !union(u, v) {
+			continue
+		}
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+		edges++
+	}
+	return adj
+}
+
+// TreeAt regenerates the i'th tree of the stream that a fresh generator
+// with the given seed would produce. Experiment sweeps use TreeAt(seed, i)
+// to parallelize over workers while keeping tree i identical regardless of
+// worker count: each tree gets its own PCG stream keyed by (seed, i).
+func TreeAt(p Params, seed uint64, i int) *tree.Tree {
+	g := &Generator{params: p, rng: rand.New(rand.NewPCG(seed, uint64(i)*0xbf58476d1ce4e5b9+1))}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return g.Tree()
+}

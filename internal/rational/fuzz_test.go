@@ -1,0 +1,24 @@
+package rational
+
+import "testing"
+
+// FuzzParse hardens Parse against arbitrary strings: it must never panic,
+// and accepted values must survive a String round trip.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"1/2", "-3/4", "0", "10000", "0.125", "", "a/b", "1/0", "9223372036854775807/3", "1e9"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		r, err := Parse(in)
+		if err != nil {
+			return
+		}
+		back, err := Parse(r.String())
+		if err != nil {
+			t.Fatalf("String output %q of %q does not re-parse: %v", r.String(), in, err)
+		}
+		if !back.Equal(r) {
+			t.Fatalf("round trip changed value: %v vs %v", back, r)
+		}
+	})
+}

@@ -1,0 +1,199 @@
+// Package stats provides the small set of descriptive statistics the
+// paper's evaluation uses: medians and extrema over tree populations
+// (Table 2), probability distribution functions over binned counts
+// (Figure 6), and cumulative distribution series (Figures 4 and 5).
+package stats
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Median returns the median of vs: the middle element for odd lengths, the
+// mean of the two middle elements (rounded down) for even lengths. It
+// panics on an empty slice.
+func Median(vs []int64) int64 {
+	if len(vs) == 0 {
+		panic("stats: median of empty slice")
+	}
+	s := slices.Clone(vs)
+	slices.Sort(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// Max returns the maximum of vs. It panics on an empty slice.
+func Max(vs []int64) int64 {
+	if len(vs) == 0 {
+		panic("stats: max of empty slice")
+	}
+	return slices.Max(vs)
+}
+
+// Min returns the minimum of vs. It panics on an empty slice.
+func Min(vs []int64) int64 {
+	if len(vs) == 0 {
+		panic("stats: min of empty slice")
+	}
+	return slices.Min(vs)
+}
+
+// Mean returns the arithmetic mean of vs. It panics on an empty slice.
+func Mean(vs []int64) float64 {
+	if len(vs) == 0 {
+		panic("stats: mean of empty slice")
+	}
+	var sum int64
+	for _, v := range vs {
+		sum += v
+	}
+	return float64(sum) / float64(len(vs))
+}
+
+// Percentile returns the p'th percentile (0..100) of vs using
+// nearest-rank. It panics on an empty slice or out-of-range p.
+func Percentile(vs []int64, p float64) int64 {
+	if len(vs) == 0 {
+		panic("stats: percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	s := slices.Clone(vs)
+	slices.Sort(s)
+	if p == 0 {
+		return s[0]
+	}
+	rank := int(p/100*float64(len(s))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// Histogram bins values into fixed-width buckets for PDF plots.
+type Histogram struct {
+	// BinWidth is the width of each bucket; bucket i covers
+	// [i*BinWidth, (i+1)*BinWidth).
+	BinWidth int64
+	// Counts[i] is the number of values in bucket i.
+	Counts []int64
+	// Total is the number of values added.
+	Total int64
+}
+
+// NewHistogram returns an empty histogram with the given bin width.
+func NewHistogram(binWidth int64) *Histogram {
+	if binWidth <= 0 {
+		panic(fmt.Sprintf("stats: bin width %d must be positive", binWidth))
+	}
+	return &Histogram{BinWidth: binWidth}
+}
+
+// Add records a non-negative value.
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		panic(fmt.Sprintf("stats: negative histogram value %d", v))
+	}
+	bin := int(v / h.BinWidth)
+	for len(h.Counts) <= bin {
+		h.Counts = append(h.Counts, 0)
+	}
+	h.Counts[bin]++
+	h.Total++
+}
+
+// PDF returns each bucket's share of the total (0..1); an empty histogram
+// returns nil.
+func (h *Histogram) PDF() []float64 {
+	if h.Total == 0 {
+		return nil
+	}
+	out := make([]float64, len(h.Counts))
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.Total)
+	}
+	return out
+}
+
+// BinCenter returns the midpoint of bucket i, for plotting.
+func (h *Histogram) BinCenter(i int) float64 {
+	return (float64(i) + 0.5) * float64(h.BinWidth)
+}
+
+// CDF builds the cumulative distribution the paper's Figures 4 and 5 plot:
+// given per-item onset values (and a flag for items that never reached
+// onset), it reports the fraction of ALL items whose onset is <= x for
+// each requested x. Items that never reached contribute to the
+// denominator but never to the numerator, exactly as trees that never
+// reach steady state hold the curves below 100%.
+type CDF struct {
+	onsets []int64
+	total  int
+}
+
+// NewCDF returns an empty CDF accumulator.
+func NewCDF() *CDF { return &CDF{} }
+
+// AddReached records an item that reached onset at the given value.
+func (c *CDF) AddReached(onset int64) {
+	c.onsets = append(c.onsets, onset)
+	c.total++
+}
+
+// AddNotReached records an item that never reached onset.
+func (c *CDF) AddNotReached() { c.total++ }
+
+// Total returns the number of items recorded.
+func (c *CDF) Total() int { return c.total }
+
+// ReachedFraction returns the fraction of items that reached onset at all.
+func (c *CDF) ReachedFraction() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(len(c.onsets)) / float64(c.total)
+}
+
+// At returns the fraction of all items with onset <= x.
+func (c *CDF) At(x int64) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	n := 0
+	for _, o := range c.onsets {
+		if o <= x {
+			n++
+		}
+	}
+	return float64(n) / float64(c.total)
+}
+
+// Series evaluates the CDF at each x in xs, which must be ascending.
+func (c *CDF) Series(xs []int64) []float64 {
+	if !slices.IsSorted(xs) {
+		panic("stats: CDF series points must be ascending")
+	}
+	if len(c.onsets) > 1 {
+		slices.Sort(c.onsets)
+	}
+	out := make([]float64, len(xs))
+	i := 0
+	for j, x := range xs {
+		for i < len(c.onsets) && c.onsets[i] <= x {
+			i++
+		}
+		if c.total == 0 {
+			out[j] = 0
+		} else {
+			out[j] = float64(i) / float64(c.total)
+		}
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []int64
+		want int64
+	}{
+		{[]int64{5}, 5},
+		{[]int64{1, 2, 3}, 2},
+		{[]int64{3, 1, 2}, 2},
+		{[]int64{1, 2, 3, 4}, 2},
+		{[]int64{10, 20}, 15},
+		{[]int64{-5, 5, 100}, 5},
+	}
+	for _, tc := range cases {
+		if got := Median(tc.in); got != tc.want {
+			t.Fatalf("Median(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	// Median must not mutate its input.
+	in := []int64{3, 1, 2}
+	Median(in)
+	if !slices.Equal(in, []int64{3, 1, 2}) {
+		t.Fatalf("Median mutated input: %v", in)
+	}
+}
+
+func TestMinMaxMean(t *testing.T) {
+	vs := []int64{4, -2, 9, 9, 0}
+	if Max(vs) != 9 || Min(vs) != -2 {
+		t.Fatalf("Max/Min wrong")
+	}
+	if got := Mean(vs); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("Mean = %v, want 4", got)
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"median":     func() { Median(nil) },
+		"max":        func() { Max(nil) },
+		"min":        func() { Min(nil) },
+		"mean":       func() { Mean(nil) },
+		"percentile": func() { Percentile(nil, 50) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vs := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(vs, 0); got != 1 {
+		t.Fatalf("P0 = %d", got)
+	}
+	if got := Percentile(vs, 100); got != 10 {
+		t.Fatalf("P100 = %d", got)
+	}
+	if got := Percentile(vs, 50); got != 5 {
+		t.Fatalf("P50 = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("out-of-range percentile accepted")
+		}
+	}()
+	Percentile(vs, 101)
+}
+
+func TestPropertyMedianAndPercentileAgree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 9))
+	for i := 0; i < 100; i++ {
+		n := rng.IntN(99)*2 + 1 // odd lengths: median == P50 exactly
+		vs := make([]int64, n)
+		for j := range vs {
+			vs[j] = rng.Int64N(1000)
+		}
+		if Median(vs) != Percentile(vs, 50) {
+			t.Fatalf("median %d != P50 %d for %v", Median(vs), Percentile(vs, 50), vs)
+		}
+		if Min(vs) > Median(vs) || Median(vs) > Max(vs) {
+			t.Fatalf("ordering violated")
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []int64{0, 5, 9, 10, 15, 25, 99} {
+		h.Add(v)
+	}
+	if h.Total != 7 {
+		t.Fatalf("Total = %d", h.Total)
+	}
+	if h.Counts[0] != 3 || h.Counts[1] != 2 || h.Counts[2] != 1 || h.Counts[9] != 1 {
+		t.Fatalf("Counts = %v", h.Counts)
+	}
+	pdf := h.PDF()
+	var sum float64
+	for _, p := range pdf {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("PDF sums to %v", sum)
+	}
+	if got := h.BinCenter(2); got != 25 {
+		t.Fatalf("BinCenter(2) = %v", got)
+	}
+}
+
+func TestHistogramEmptyAndErrors(t *testing.T) {
+	if NewHistogram(5).PDF() != nil {
+		t.Fatalf("empty PDF not nil")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("zero bin width accepted")
+			}
+		}()
+		NewHistogram(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("negative value accepted")
+			}
+		}()
+		NewHistogram(5).Add(-1)
+	}()
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF()
+	c.AddReached(100)
+	c.AddReached(300)
+	c.AddReached(300)
+	c.AddNotReached()
+	if c.Total() != 4 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if got := c.ReachedFraction(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("ReachedFraction = %v", got)
+	}
+	for _, tc := range []struct {
+		x    int64
+		want float64
+	}{
+		{50, 0}, {100, 0.25}, {299, 0.25}, {300, 0.75}, {1000, 0.75},
+	} {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("At(%d) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFSeriesMatchesAt(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	c := NewCDF()
+	for i := 0; i < 200; i++ {
+		if rng.IntN(5) == 0 {
+			c.AddNotReached()
+		} else {
+			c.AddReached(rng.Int64N(5000))
+		}
+	}
+	xs := make([]int64, 50)
+	for i := range xs {
+		xs[i] = int64(i * 100)
+	}
+	series := c.Series(xs)
+	for i, x := range xs {
+		if math.Abs(series[i]-c.At(x)) > 1e-12 {
+			t.Fatalf("Series[%d]=%v != At(%d)=%v", i, series[i], x, c.At(x))
+		}
+	}
+	// Monotone non-decreasing, capped by reached fraction.
+	for i := 1; i < len(series); i++ {
+		if series[i] < series[i-1] {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+	}
+	if series[len(series)-1] > c.ReachedFraction()+1e-12 {
+		t.Fatalf("CDF exceeds reached fraction")
+	}
+}
+
+func TestCDFSeriesRejectsUnsorted(t *testing.T) {
+	c := NewCDF()
+	c.AddReached(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("unsorted xs accepted")
+		}
+	}()
+	c.Series([]int64{5, 1})
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF()
+	if c.At(10) != 0 || c.ReachedFraction() != 0 {
+		t.Fatalf("empty CDF not zero")
+	}
+	if got := c.Series([]int64{1, 2}); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty Series not zero: %v", got)
+	}
+}

@@ -1,0 +1,200 @@
+// Package textplot renders simple line charts and bar charts as plain
+// text, so the experiment harness can show every figure of the paper
+// directly in a terminal and in logged experiment reports without any
+// graphics dependency.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// markers assigns a distinct glyph to each series, in order.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+type series struct {
+	name string
+	xs   []float64
+	ys   []float64
+}
+
+// Chart is a multi-series scatter/line chart drawn on a character grid.
+type Chart struct {
+	title  string
+	xlabel string
+	ylabel string
+	width  int
+	height int
+	series []series
+}
+
+// NewChart returns an empty chart with the given plot-area size in
+// characters. Sizes are clamped to a sane minimum.
+func NewChart(title string, width, height int) *Chart {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	return &Chart{title: title, width: width, height: height}
+}
+
+// Labels sets the axis labels.
+func (c *Chart) Labels(x, y string) *Chart {
+	c.xlabel, c.ylabel = x, y
+	return c
+}
+
+// Line adds a named series. xs and ys must have equal length; points with
+// NaN or Inf are skipped at render time.
+func (c *Chart) Line(name string, xs, ys []float64) *Chart {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("textplot: series %q has %d xs but %d ys", name, len(xs), len(ys)))
+	}
+	c.series = append(c.series, series{name: name, xs: xs, ys: ys})
+	return c
+}
+
+// bounds returns the data extent across all series, ignoring non-finite
+// points, and reports whether any point exists.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.xs {
+			x, y := s.xs[i], s.ys[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			ok = true
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if xmin == xmax {
+		xmin, xmax = xmin-1, xmax+1
+	}
+	if ymin == ymax {
+		ymin, ymax = ymin-1, ymax+1
+	}
+	return xmin, xmax, ymin, ymax, ok
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Render writes the chart to w.
+func (c *Chart) Render(w io.Writer) error {
+	var b strings.Builder
+	if c.title != "" {
+		fmt.Fprintf(&b, "%s\n", c.title)
+	}
+	xmin, xmax, ymin, ymax, ok := c.bounds()
+	if !ok {
+		b.WriteString("(no data)\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+
+	grid := make([][]byte, c.height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", c.width))
+	}
+	for si, s := range c.series {
+		m := markers[si%len(markers)]
+		for i := range s.xs {
+			x, y := s.xs[i], s.ys[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			col := int((x - xmin) / (xmax - xmin) * float64(c.width-1))
+			row := c.height - 1 - int((y-ymin)/(ymax-ymin)*float64(c.height-1))
+			grid[row][col] = m
+		}
+	}
+
+	yLo, yHi := fmtNum(ymin), fmtNum(ymax)
+	margin := len(yLo)
+	if len(yHi) > margin {
+		margin = len(yHi)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", margin)
+		switch i {
+		case 0:
+			label = pad(yHi, margin)
+		case c.height - 1:
+			label = pad(yLo, margin)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", c.width))
+	xLo, xHi := fmtNum(xmin), fmtNum(xmax)
+	gap := c.width - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", margin), xLo, strings.Repeat(" ", gap), xHi)
+	if c.xlabel != "" || c.ylabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", margin), c.xlabel, c.ylabel)
+	}
+	for si, s := range c.series {
+		fmt.Fprintf(&b, "%s   %c %s\n", strings.Repeat(" ", margin), markers[si%len(markers)], s.name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return strings.Repeat(" ", n-len(s)) + s
+}
+
+// fmtNum renders an axis bound compactly.
+func fmtNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// Bars renders a horizontal bar chart of labeled non-negative values,
+// scaled so the longest bar spans width characters.
+func Bars(w io.Writer, title string, labels []string, values []float64, width int) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("textplot: %d labels but %d values", len(labels), len(values))
+	}
+	if width < 8 {
+		width = 8
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	max := 0.0
+	lw := 0
+	for i, v := range values {
+		if v < 0 || !finite(v) {
+			return fmt.Errorf("textplot: bar value %v at %d", v, i)
+		}
+		if v > max {
+			max = v
+		}
+		if len(labels[i]) > lw {
+			lw = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(width))
+		}
+		fmt.Fprintf(&b, "%s |%s %s\n", pad(labels[i], lw), strings.Repeat("=", n), fmtNum(v))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

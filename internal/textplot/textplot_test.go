@@ -1,0 +1,137 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, c *Chart) string {
+	t.Helper()
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	return b.String()
+}
+
+func TestChartBasics(t *testing.T) {
+	c := NewChart("throughput", 40, 10).
+		Labels("tasks", "rate").
+		Line("ic3", []float64{0, 1, 2, 3}, []float64{0, 1, 2, 3})
+	out := render(t, c)
+	if !strings.Contains(out, "throughput") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "ic3") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "x: tasks") || !strings.Contains(out, "y: rate") {
+		t.Fatalf("missing axis labels:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("missing series marker:\n%s", out)
+	}
+	// Monotone series: the first plot row (max y) and last (min y) each
+	// hold a point.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") || !strings.Contains(lines[10], "*") {
+		t.Fatalf("extremes not plotted:\n%s", out)
+	}
+}
+
+func TestChartMultipleSeriesDistinctMarkers(t *testing.T) {
+	c := NewChart("", 30, 8).
+		Line("a", []float64{0, 1}, []float64{0, 0}).
+		Line("b", []float64{0, 1}, []float64{1, 1})
+	out := render(t, c)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("markers not distinct:\n%s", out)
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Fatalf("legend wrong:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := render(t, NewChart("empty", 20, 5))
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+}
+
+func TestChartSkipsNonFinite(t *testing.T) {
+	c := NewChart("", 20, 5).
+		Line("s", []float64{0, 1, 2}, []float64{1, math.NaN(), 2}).
+		Line("inf", []float64{0, math.Inf(1)}, []float64{1, 1})
+	out := render(t, c)
+	if strings.Contains(out, "(no data)") {
+		t.Fatalf("finite points dropped:\n%s", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	// A single repeated point must not divide by zero.
+	c := NewChart("", 20, 5).Line("flat", []float64{5, 5}, []float64{2, 2})
+	out := render(t, c)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series not plotted:\n%s", out)
+	}
+}
+
+func TestChartMismatchedSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("mismatched lengths accepted")
+		}
+	}()
+	NewChart("", 20, 5).Line("bad", []float64{1}, []float64{1, 2})
+}
+
+func TestChartClampsTinySizes(t *testing.T) {
+	c := NewChart("t", 1, 1).Line("s", []float64{0, 1}, []float64{0, 1})
+	out := render(t, c)
+	if len(out) == 0 {
+		t.Fatalf("no output")
+	}
+}
+
+func TestBars(t *testing.T) {
+	var b strings.Builder
+	err := Bars(&b, "buffers", []string{"x=500", "x=10000"}, []float64{3, 551}, 30)
+	if err != nil {
+		t.Fatalf("Bars: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "buffers") || !strings.Contains(out, "x=500") {
+		t.Fatalf("missing content:\n%s", out)
+	}
+	// The larger value must produce the longer bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "=") >= strings.Count(lines[2], "=") {
+		t.Fatalf("bar lengths not proportional:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "551") {
+		t.Fatalf("value label missing:\n%s", out)
+	}
+}
+
+func TestBarsErrors(t *testing.T) {
+	var b strings.Builder
+	if err := Bars(&b, "", []string{"a"}, []float64{1, 2}, 10); err == nil {
+		t.Fatalf("mismatched lengths accepted")
+	}
+	if err := Bars(&b, "", []string{"a"}, []float64{-1}, 10); err == nil {
+		t.Fatalf("negative value accepted")
+	}
+	if err := Bars(&b, "", []string{"a"}, []float64{math.NaN()}, 10); err == nil {
+		t.Fatalf("NaN accepted")
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	var b strings.Builder
+	if err := Bars(&b, "", []string{"a", "b"}, []float64{0, 0}, 10); err != nil {
+		t.Fatalf("Bars: %v", err)
+	}
+}

@@ -1,0 +1,176 @@
+package trace
+
+// Protocol-conformance tests: replay a recorded event stream and verify
+// the paper's scheduling rules at every decision point, independently of
+// the engine's internal implementation.
+
+import (
+	"testing"
+
+	"bwcs/internal/engine"
+	"bwcs/internal/protocol"
+	"bwcs/internal/randtree"
+	"bwcs/internal/tree"
+)
+
+// replayState reconstructs per-node scheduling state from a trace.
+type replayState struct {
+	t *tree.Tree
+	// pending[child] counts outstanding requests not yet matched by a
+	// fresh send start.
+	pending map[tree.NodeID]int
+	// inflight[child] is true while a transfer to child is in flight or
+	// shelved (fresh start .. done, minus nothing: interrupts keep it).
+	inflight map[tree.NodeID]bool
+	// buffered[node] counts tasks delivered but not yet consumed; the
+	// root is tracked via remaining pool.
+	buffered map[tree.NodeID]int
+	pool     int64
+}
+
+func newReplay(t *tree.Tree, tasks int64) *replayState {
+	return &replayState{
+		t:        t,
+		pending:  map[tree.NodeID]int{},
+		inflight: map[tree.NodeID]bool{},
+		buffered: map[tree.NodeID]int{},
+		pool:     tasks,
+	}
+}
+
+func (r *replayState) hasTask(n tree.NodeID) bool {
+	if n == r.t.Root() {
+		return r.pool > 0
+	}
+	return r.buffered[n] > 0
+}
+
+func (r *replayState) take(n tree.NodeID) {
+	if n == r.t.Root() {
+		r.pool--
+		return
+	}
+	r.buffered[n]--
+}
+
+// TestBandwidthCentricServiceOrder replays IC FB=3 runs on random
+// platforms and asserts, at every fresh send start, that the chosen child
+// had the smallest communication time among serviceable children (pending
+// request, no transfer already in flight or shelved) — the paper's
+// bandwidth-centric rule, checked against state reconstructed purely from
+// the event stream.
+func TestBandwidthCentricServiceOrder(t *testing.T) {
+	params := randtree.Params{MinNodes: 5, MaxNodes: 50, MinComm: 1, MaxComm: 40, Comp: 600}
+	const tasks = 600
+	for ti := 0; ti < 6; ti++ {
+		tr := randtree.TreeAt(params, 555, ti)
+		rec := &Recorder{}
+		if _, err := engine.Run(engine.Config{Tree: tr, Protocol: protocol.Interruptible(3), Tasks: tasks, Tracer: rec}); err != nil {
+			t.Fatalf("tree %d: %v", ti, err)
+		}
+		rs := newReplay(tr, tasks)
+		// Initial requests: FB per node.
+		tr.Walk(func(id tree.NodeID) bool {
+			if id != tr.Root() {
+				rs.pending[id] = 3
+			}
+			return true
+		})
+		sawFresh := 0
+		for _, e := range rec.Events() {
+			switch e.Kind {
+			case Request:
+				rs.pending[e.Node]++
+			case SendStart:
+				// Conformance check: the chosen child must be serviceable
+				// and have minimal c among serviceable siblings.
+				parent := e.Node
+				chosen := e.Peer
+				if !rs.hasTask(parent) {
+					t.Fatalf("tree %d: fresh send from %d without a task", ti, parent)
+				}
+				if rs.pending[chosen] < 1 || rs.inflight[chosen] {
+					t.Fatalf("tree %d: send to unserviceable child %d (pending=%d inflight=%v)",
+						ti, chosen, rs.pending[chosen], rs.inflight[chosen])
+				}
+				for _, sib := range rs.t.Children(parent) {
+					if sib == chosen || rs.pending[sib] < 1 || rs.inflight[sib] {
+						continue
+					}
+					if rs.t.C(sib) < rs.t.C(chosen) {
+						t.Fatalf("tree %d: served child %d (c=%d) over faster sibling %d (c=%d)",
+							ti, chosen, rs.t.C(chosen), sib, rs.t.C(sib))
+					}
+				}
+				rs.pending[chosen]--
+				rs.inflight[chosen] = true
+				rs.take(parent)
+				sawFresh++
+			case SendResume:
+				if !rs.inflight[e.Peer] {
+					t.Fatalf("tree %d: resume without an in-flight transfer to %d", ti, e.Peer)
+				}
+			case SendInterrupt:
+				if !rs.inflight[e.Peer] {
+					t.Fatalf("tree %d: interrupt without an in-flight transfer to %d", ti, e.Peer)
+				}
+			case SendDone:
+				if !rs.inflight[e.Peer] {
+					t.Fatalf("tree %d: delivery without an in-flight transfer to %d", ti, e.Peer)
+				}
+				rs.inflight[e.Peer] = false
+				rs.buffered[e.Peer]++
+			case ComputeStart:
+				if !rs.hasTask(e.Node) {
+					t.Fatalf("tree %d: node %d computing without a task", ti, e.Node)
+				}
+				rs.take(e.Node)
+			}
+		}
+		if sawFresh == 0 {
+			t.Fatalf("tree %d: no sends at all", ti)
+		}
+		// All tasks accounted for: pool drained, nothing left buffered or
+		// in flight.
+		if rs.pool != 0 {
+			t.Fatalf("tree %d: %d tasks left in the pool", ti, rs.pool)
+		}
+		for id, n := range rs.buffered {
+			if n != 0 {
+				t.Fatalf("tree %d: node %d ends with %d buffered tasks", ti, id, n)
+			}
+		}
+		for id, f := range rs.inflight {
+			if f {
+				t.Fatalf("tree %d: transfer to %d never completed", ti, id)
+			}
+		}
+	}
+}
+
+// TestGrowthEventsOnlyUnderGrowthProtocol: fixed-buffer protocols must
+// never emit Grow events; the growth protocol's Grow events must raise
+// capacity monotonically from the initial pool.
+func TestGrowthEventsOnlyUnderGrowthProtocol(t *testing.T) {
+	tr := randtree.TreeAt(randtree.Params{MinNodes: 10, MaxNodes: 30, MinComm: 1, MaxComm: 30, Comp: 900}, 3, 0)
+	for _, p := range []protocol.Protocol{protocol.Interruptible(3), protocol.NonInterruptibleFixed(2)} {
+		rec := &Recorder{}
+		if _, err := engine.Run(engine.Config{Tree: tr, Protocol: p, Tasks: 300, Tracer: rec}); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if got := rec.Counts()[Grow]; got != 0 {
+			t.Fatalf("%v emitted %d grow events", p, got)
+		}
+	}
+	rec := &Recorder{}
+	if _, err := engine.Run(engine.Config{Tree: tr, Protocol: protocol.NonInterruptible(1), Tasks: 300, Tracer: rec}); err != nil {
+		t.Fatalf("non-IC: %v", err)
+	}
+	last := map[tree.NodeID]int64{}
+	for _, e := range rec.Filter(OfKind(Grow)) {
+		if e.Value != last[e.Node]+1 && last[e.Node] != 0 {
+			t.Fatalf("node %d capacity jumped %d -> %d", e.Node, last[e.Node], e.Value)
+		}
+		last[e.Node] = e.Value
+	}
+}

@@ -1,0 +1,141 @@
+package tree
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// jsonNode is the wire representation of one node in the JSON codec.
+type jsonNode struct {
+	ID     NodeID `json:"id"`
+	Parent NodeID `json:"parent"` // -1 for the root
+	W      int64  `json:"w"`
+	C      int64  `json:"c,omitempty"` // omitted for the root
+}
+
+// jsonTree is the wire representation of a whole tree.
+type jsonTree struct {
+	Nodes []jsonNode `json:"nodes"`
+}
+
+// MarshalJSON implements json.Marshaler. Nodes are emitted in ID order so
+// output is deterministic and parents always precede children.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	out := jsonTree{Nodes: make([]jsonNode, t.Len())}
+	for id := 0; id < t.Len(); id++ {
+		n := jsonNode{ID: NodeID(id), Parent: t.nodes[id].parent, W: t.nodes[id].w}
+		if n.Parent != None {
+			n.C = t.nodes[id].c
+		}
+		out.Nodes[id] = n
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler and validates the decoded tree.
+// Nodes must be listed in ID order with parents before children (the order
+// MarshalJSON produces).
+func (t *Tree) UnmarshalJSON(b []byte) error {
+	var in jsonTree
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	built, err := fromRecords(in.Nodes)
+	if err != nil {
+		return err
+	}
+	*t = *built
+	return nil
+}
+
+func fromRecords(recs []jsonNode) (*Tree, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("tree: no nodes")
+	}
+	if recs[0].ID != 0 || recs[0].Parent != None {
+		return nil, fmt.Errorf("tree: first node must be root with id 0 and parent -1")
+	}
+	if recs[0].W <= 0 {
+		return nil, fmt.Errorf("tree: root compute weight %d must be positive", recs[0].W)
+	}
+	built := New(recs[0].W)
+	for i, r := range recs[1:] {
+		if int(r.ID) != i+1 {
+			return nil, fmt.Errorf("tree: node ids must be dense and ordered, got %d at position %d", r.ID, i+1)
+		}
+		if !built.Valid(r.Parent) {
+			return nil, fmt.Errorf("tree: node %d references parent %d before it exists", r.ID, r.Parent)
+		}
+		if r.W <= 0 || r.C <= 0 {
+			return nil, fmt.Errorf("tree: node %d has non-positive weight (w=%d c=%d)", r.ID, r.W, r.C)
+		}
+		built.AddChild(r.Parent, r.W, r.C)
+	}
+	if err := built.Validate(); err != nil {
+		return nil, err
+	}
+	return built, nil
+}
+
+// Encode writes t in the compact text format:
+//
+//	bwcs-tree v1
+//	<id> <parent> <w> <c>     (one line per node; root line has parent -1 and c 0)
+//
+// Lines appear in ID order. Blank lines and lines starting with '#' are
+// ignored by Decode so files can carry comments.
+func (t *Tree) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "bwcs-tree v1"); err != nil {
+		return err
+	}
+	for id := 0; id < t.Len(); id++ {
+		n := &t.nodes[id]
+		c := n.c
+		if n.parent == None {
+			c = 0
+		}
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d\n", id, n.parent, n.w, c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a tree in the format written by Encode.
+func Decode(r io.Reader) (*Tree, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	header := false
+	var recs []jsonNode
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if !header {
+			if text != "bwcs-tree v1" {
+				return nil, fmt.Errorf("tree: line %d: bad header %q", line, text)
+			}
+			header = true
+			continue
+		}
+		var rec jsonNode
+		if _, err := fmt.Sscanf(text, "%d %d %d %d", &rec.ID, &rec.Parent, &rec.W, &rec.C); err != nil {
+			return nil, fmt.Errorf("tree: line %d: %v", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !header {
+		return nil, fmt.Errorf("tree: missing header")
+	}
+	return fromRecords(recs)
+}

@@ -1,0 +1,137 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := buildSample()
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Tree
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	assertSameTree(t, tr, &back)
+}
+
+func TestJSONRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty nodes", `{"nodes":[]}`},
+		{"no root", `{"nodes":[{"id":0,"parent":3,"w":1}]}`},
+		{"zero weight root", `{"nodes":[{"id":0,"parent":-1,"w":0}]}`},
+		{"gap in ids", `{"nodes":[{"id":0,"parent":-1,"w":1},{"id":2,"parent":0,"w":1,"c":1}]}`},
+		{"forward parent", `{"nodes":[{"id":0,"parent":-1,"w":1},{"id":1,"parent":2,"w":1,"c":1},{"id":2,"parent":0,"w":1,"c":1}]}`},
+		{"zero c", `{"nodes":[{"id":0,"parent":-1,"w":1},{"id":1,"parent":0,"w":1,"c":0}]}`},
+		{"not json", `horse`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var tr Tree
+			if err := json.Unmarshal([]byte(tc.in), &tr); err == nil {
+				t.Fatalf("accepted %q", tc.in)
+			}
+		})
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := buildSample()
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	assertSameTree(t, tr, back)
+}
+
+func TestTextDecodeCommentsAndBlanks(t *testing.T) {
+	in := `
+# a platform with two nodes
+bwcs-tree v1
+
+0 -1 5 0
+# fast child
+1 0 3 1
+`
+	tr, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if tr.Len() != 2 || tr.W(1) != 3 || tr.C(1) != 1 {
+		t.Fatalf("decoded wrong tree: %v", tr)
+	}
+}
+
+func TestTextDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "bwcs-tree v9\n0 -1 5 0\n"},
+		{"garbage line", "bwcs-tree v1\n0 -1 5 0\nxyzzy\n"},
+		{"no nodes", "bwcs-tree v1\n"},
+		{"bad weight", "bwcs-tree v1\n0 -1 0 0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("accepted %q", tc.in)
+			}
+		})
+	}
+}
+
+func TestPropertyCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 19))
+	for i := 0; i < 50; i++ {
+		tr := randomTree(rng, rng.IntN(120)+1)
+
+		b, err := json.Marshal(tr)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var viaJSON Tree
+		if err := json.Unmarshal(b, &viaJSON); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		assertSameTree(t, tr, &viaJSON)
+
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		viaText, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		assertSameTree(t, tr, viaText)
+	}
+}
+
+func assertSameTree(t *testing.T, a, b *Tree) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("sizes differ: %d vs %d", a.Len(), b.Len())
+	}
+	for id := NodeID(0); int(id) < a.Len(); id++ {
+		if a.Parent(id) != b.Parent(id) || a.W(id) != b.W(id) || a.C(id) != b.C(id) || a.Depth(id) != b.Depth(id) {
+			t.Fatalf("node %d differs: (%d,%d,%d,%d) vs (%d,%d,%d,%d)", id,
+				a.Parent(id), a.W(id), a.C(id), a.Depth(id),
+				b.Parent(id), b.W(id), b.C(id), b.Depth(id))
+		}
+	}
+}

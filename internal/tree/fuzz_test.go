@@ -1,0 +1,63 @@
+package tree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode hardens the text codec against arbitrary input: Decode must
+// never panic, and anything it accepts must validate and round-trip.
+func FuzzDecode(f *testing.F) {
+	var seed bytes.Buffer
+	if err := buildSample().Encode(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("bwcs-tree v1\n0 -1 5 0\n")
+	f.Add("bwcs-tree v1\n0 -1 5 0\n1 0 3 1\n# comment\n")
+	f.Add("")
+	f.Add("bwcs-tree v9\n")
+	f.Add("bwcs-tree v1\n0 -1 -5 0\n")
+	f.Add("bwcs-tree v1\n0 0 1 1\n")
+	f.Add("bwcs-tree v1\n0 -1 1 0\n2 0 1 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := Decode(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Decode accepted an invalid tree: %v\ninput: %q", err, in)
+		}
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip changed size: %d vs %d", back.Len(), tr.Len())
+		}
+	})
+}
+
+// FuzzJSON does the same for the JSON codec.
+func FuzzJSON(f *testing.F) {
+	b, _ := buildSample().MarshalJSON()
+	f.Add(string(b))
+	f.Add(`{"nodes":[{"id":0,"parent":-1,"w":1}]}`)
+	f.Add(`{"nodes":[]}`)
+	f.Add(`{}`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, in string) {
+		var tr Tree
+		if err := tr.UnmarshalJSON([]byte(in)); err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("UnmarshalJSON accepted an invalid tree: %v\ninput: %q", err, in)
+		}
+	})
+}

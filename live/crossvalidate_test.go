@@ -1,0 +1,98 @@
+package live
+
+// Cross-validation against the discrete-event engine: the same logical
+// platform, expressed once in simulator timesteps and once as real
+// sleeps/delays, must produce the same qualitative schedule. This ties the
+// repository's two halves together — the simulator that reproduces the
+// paper's numbers and the runtime that deploys the protocol.
+
+import (
+	"testing"
+	"time"
+
+	"bwcs/internal/engine"
+	"bwcs/internal/protocol"
+	"bwcs/internal/tree"
+)
+
+// TestSimAndLiveAgreeOnTaskSplit builds a platform with a strong, clear
+// asymmetry — a fast-linked slow CPU, a slow-linked fast CPU, and a
+// mid-everything child — and checks that the per-node ranking of computed
+// tasks matches between the simulator and the live runtime. Rankings (not
+// exact counts) are robust to wall-clock noise.
+func TestSimAndLiveAgreeOnTaskSplit(t *testing.T) {
+	const tasks = 90
+	const step = 2 * time.Millisecond // one simulator timestep in wall time
+
+	// Platform: root w=40; A (c=1, w=4), B (c=12, w=2), C (c=4, w=8).
+	tr := tree.New(40)
+	tr.AddChild(tr.Root(), 4, 1)  // A: fast link
+	tr.AddChild(tr.Root(), 2, 12) // B: fast CPU, slow link
+	tr.AddChild(tr.Root(), 8, 4)  // C: middling
+
+	sim, err := engine.Run(engine.Config{Tree: tr, Protocol: protocol.Interruptible(3), Tasks: tasks})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+
+	sleepCompute := func(w int64) ComputeFunc {
+		return func(Task) ([]byte, error) {
+			time.Sleep(time.Duration(w) * step)
+			return nil, nil
+		}
+	}
+	delays := map[string]time.Duration{
+		"A": 1 * step,
+		"B": 12 * step,
+		"C": 4 * step,
+	}
+	root := startNode(t, Config{
+		Name: "root", Listen: "127.0.0.1:0", Buffers: 3,
+		Compute:   sleepCompute(40),
+		LinkDelay: func(child string) time.Duration { return delays[child] },
+		ChunkSize: 1 << 20, // one chunk per task: the delay is the whole c
+	})
+	workers := map[string]*Node{}
+	for name, w := range map[string]int64{"A": 4, "B": 2, "C": 8} {
+		workers[name] = startNode(t, Config{Name: name, Parent: root.Addr(), Buffers: 3, Compute: sleepCompute(w)})
+	}
+	if _, err := root.Run(makeTasks(tasks, 64), 120*time.Second); err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+
+	simCounts := map[string]int64{
+		"A": sim.Nodes[1].Computed,
+		"B": sim.Nodes[2].Computed,
+		"C": sim.Nodes[3].Computed,
+	}
+	liveCounts := map[string]int64{}
+	for name, w := range workers {
+		liveCounts[name] = w.Stats().Computed
+	}
+	t.Logf("sim split: %v, live split: %v (root sim %d)", simCounts, liveCounts, sim.Nodes[0].Computed)
+
+	// The fast-linked child dominates in both worlds.
+	for _, counts := range []map[string]int64{simCounts, liveCounts} {
+		if counts["A"] <= counts["B"] {
+			t.Fatalf("A (fast link) did not beat B (slow link): %v", counts)
+		}
+		if counts["A"] <= counts["C"] {
+			t.Fatalf("A (fast link) did not beat C: %v", counts)
+		}
+	}
+	// And the simulator's winner is the live runtime's winner.
+	simWinner, liveWinner := argmax(simCounts), argmax(liveCounts)
+	if simWinner != liveWinner {
+		t.Fatalf("winners disagree: sim %s, live %s", simWinner, liveWinner)
+	}
+}
+
+func argmax(m map[string]int64) string {
+	best, bestV := "", int64(-1)
+	for k, v := range m {
+		if v > bestV || (v == bestV && k < best) {
+			best, bestV = k, v
+		}
+	}
+	return best
+}

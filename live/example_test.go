@@ -1,0 +1,54 @@
+package live_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bwcs/live"
+)
+
+// A minimal two-node overlay over loopback TCP: the root dispatches ten
+// tasks; the worker joins by address and requests work autonomously. Only
+// the (deterministic) result count is asserted — how the ten tasks split
+// between the two CPUs depends on wall-clock timing.
+func Example() {
+	root, err := live.Start(live.Config{
+		Name:    "root",
+		Listen:  "127.0.0.1:0",
+		Buffers: 3,
+		Compute: func(t live.Task) ([]byte, error) {
+			time.Sleep(5 * time.Millisecond) // the root's own CPU
+			return t.Payload, nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer root.Close()
+
+	worker, err := live.Start(live.Config{
+		Name:    "worker",
+		Parent:  root.Addr(), // join by address — nothing else to configure
+		Buffers: 3,
+		Compute: func(t live.Task) ([]byte, error) {
+			time.Sleep(time.Millisecond)
+			return t.Payload, nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer worker.Close()
+
+	tasks := make([]live.Task, 10)
+	for i := range tasks {
+		tasks[i] = live.Task{ID: uint64(i + 1), Payload: []byte("work unit")}
+	}
+	results, err := root.Run(tasks, time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(results), "results collected")
+	// Output: 10 results collected
+}

@@ -1,0 +1,511 @@
+// Package live is a working distributed implementation of the paper's
+// autonomous bandwidth-centric scheduling protocol over real TCP
+// connections — the prototype its future-work section calls for.
+//
+// Nodes form a tree overlay: each node listens for children and, except at
+// the root, connects to its parent. Scheduling is exactly the paper's:
+//
+//   - request-driven — a node sends one request up whenever one of its
+//     task buffers frees (at the start of a local computation or of a
+//     downstream forward);
+//   - bandwidth-centric — a parent serves the requesting child with the
+//     smallest *measured* communication time (an EWMA of observed chunk
+//     send times; no global information);
+//   - interruptible — task payloads stream in chunks through a single send
+//     port, and between chunks the port switches to a higher-priority
+//     child's transfer, exactly the shelve-and-resume semantics of
+//     Section 3.2 (disable with Config.NonInterruptible for the non-IC
+//     variant).
+//
+// Results return hop by hop to the root, which is the source and sink of
+// all application data. Every scheduling decision uses only locally
+// observable state, so subtrees can be added under any node while an
+// application runs.
+//
+// The package is runnable both in-process (tests, examples) and as
+// separate OS processes via cmd/bwnode.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Task is one unit of application work.
+type Task struct {
+	ID      uint64
+	Payload []byte
+}
+
+// Result is a completed task.
+type Result struct {
+	ID     uint64
+	Output []byte
+	Origin string // name of the node that computed it
+}
+
+// ComputeFunc executes one task. It runs on the node's single compute
+// "port" (one task at a time, as in the paper's base model).
+type ComputeFunc func(Task) ([]byte, error)
+
+// Config describes one node of the overlay.
+type Config struct {
+	// Name identifies the node in results and statistics.
+	Name string
+	// Listen is the address to accept children on; empty for leaves.
+	// Use "127.0.0.1:0" to pick a free port (see Node.Addr).
+	Listen string
+	// Parent is the parent node's address; empty for the root.
+	Parent string
+	// Buffers is the number of task buffers (the paper's FB); the
+	// headline protocol uses 3.
+	Buffers int
+	// NonInterruptible disables chunk-level preemption at the send port
+	// (the paper's non-IC variant).
+	NonInterruptible bool
+	// ChunkSize is the payload slice streamed per send-port turn;
+	// default 4096 bytes.
+	ChunkSize int
+	// Compute executes tasks; required.
+	Compute ComputeFunc
+	// LinkDelay, when non-nil, adds an artificial delay before each chunk
+	// sent to the named child — a deterministic stand-in for heterogeneous
+	// link bandwidth in tests and demos (the measured priorities then
+	// reflect it, exactly as they would reflect real bandwidth).
+	LinkDelay func(childName string) time.Duration
+}
+
+// Stats is a snapshot of a node's counters.
+type Stats struct {
+	Computed   int64            // tasks computed locally
+	Forwarded  int64            // tasks sent to children
+	Received   int64            // tasks received from the parent
+	Requests   int64            // requests sent to the parent
+	Interrupts int64            // send-port switches away from an unfinished transfer
+	MaxQueued  int              // most tasks simultaneously buffered
+	ByChild    map[string]int64 // tasks forwarded per child
+}
+
+// Node is a running overlay node.
+type Node struct {
+	cfg      Config
+	listener net.Listener
+	parent   *conn
+
+	mu       sync.Mutex
+	children []*childSession
+	buffer   []Task
+	results  chan Result // root only: collected results
+	inflight map[uint64]*inTransfer
+	stats    Stats
+	status   *statusServer
+	closed   bool
+	err      error
+
+	kick chan struct{} // wakes the send port
+	comp chan struct{} // wakes the compute loop
+	done chan struct{} // closed by Close
+	wg   sync.WaitGroup
+}
+
+// childSession is the parent-side state for one connected child.
+type childSession struct {
+	name    string
+	c       *conn
+	pending int  // outstanding requests
+	link    ewma // measured per-chunk communication time
+	active  *outTransfer
+	gone    bool
+	// outstanding holds every task fully delivered into this child's
+	// subtree whose result has not yet come back through this node. If
+	// the child dies, these are requeued and re-executed (at-least-once
+	// semantics; the root deduplicates results by task ID).
+	outstanding map[uint64]Task
+}
+
+// outTransfer is an in-progress (possibly preempted-and-resumed) send.
+type outTransfer struct {
+	task   Task
+	offset int
+}
+
+// Start launches a node. Leaves connect to their parent immediately; the
+// root becomes ready to Run once started.
+func Start(cfg Config) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("live: node needs a name")
+	}
+	if cfg.Compute == nil {
+		return nil, errors.New("live: node needs a Compute function")
+	}
+	if cfg.Buffers < 1 {
+		return nil, fmt.Errorf("live: buffers %d < 1", cfg.Buffers)
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 4096
+	}
+	n := &Node{
+		cfg:      cfg,
+		inflight: make(map[uint64]*inTransfer),
+		kick:     make(chan struct{}, 1),
+		comp:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	n.stats.ByChild = make(map[string]int64)
+
+	if cfg.Listen != "" {
+		l, err := net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("live: listen: %w", err)
+		}
+		n.listener = l
+		n.wg.Add(1)
+		go n.acceptLoop()
+	}
+	if cfg.Parent != "" {
+		raw, err := net.Dial("tcp", cfg.Parent)
+		if err != nil {
+			n.Close()
+			return nil, fmt.Errorf("live: dial parent: %w", err)
+		}
+		n.parent = newConn(raw)
+		if err := n.parent.send(&message{Kind: kindHello, Name: cfg.Name}); err != nil {
+			n.Close()
+			return nil, fmt.Errorf("live: hello: %w", err)
+		}
+		// The paper's startup: one request per empty buffer.
+		if err := n.parent.send(&message{Kind: kindRequest, N: cfg.Buffers}); err != nil {
+			n.Close()
+			return nil, fmt.Errorf("live: initial request: %w", err)
+		}
+		n.mu.Lock()
+		n.stats.Requests += int64(cfg.Buffers)
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.parentLoop()
+	} else {
+		n.results = make(chan Result, 1024)
+	}
+
+	n.wg.Add(2)
+	go n.computeLoop()
+	go n.sendPort()
+	return n, nil
+}
+
+// Addr returns the node's listen address (useful with "127.0.0.1:0").
+func (n *Node) Addr() string {
+	if n.listener == nil {
+		return ""
+	}
+	return n.listener.Addr().String()
+}
+
+// Err returns the first fatal error the node hit, if any.
+func (n *Node) Err() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.err
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := n.stats
+	s.ByChild = make(map[string]int64, len(n.stats.ByChild))
+	for k, v := range n.stats.ByChild {
+		s.ByChild[k] = v
+	}
+	return s
+}
+
+// Close shuts the node down: children are told to wind down and all
+// connections close. Closing the root before Run returns aborts the run.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	children := append([]*childSession(nil), n.children...)
+	status := n.status
+	n.status = nil
+	n.mu.Unlock()
+
+	if status != nil {
+		_ = status.srv.Close()
+	}
+	close(n.done)
+	for _, ch := range children {
+		_ = ch.c.send(&message{Kind: kindShutdown})
+		_ = ch.c.close()
+	}
+	if n.parent != nil {
+		_ = n.parent.close()
+	}
+	if n.listener != nil {
+		_ = n.listener.Close()
+	}
+	n.wake(n.kick)
+	n.wake(n.comp)
+	n.wg.Wait()
+	return nil
+}
+
+// Run dispatches the given tasks from the root and blocks until every
+// result has been collected or the timeout expires. Only the root (a node
+// with no parent) may call Run.
+func (n *Node) Run(tasks []Task, timeout time.Duration) ([]Result, error) {
+	if n.parent != nil {
+		return nil, errors.New("live: Run called on a non-root node")
+	}
+	seen := make(map[uint64]bool, len(tasks))
+	for _, t := range tasks {
+		if seen[t.ID] {
+			return nil, fmt.Errorf("live: duplicate task id %d", t.ID)
+		}
+		seen[t.ID] = true
+	}
+
+	n.mu.Lock()
+	n.buffer = append(n.buffer, tasks...) // the root's pool
+	if q := len(n.buffer); q > n.stats.MaxQueued {
+		n.stats.MaxQueued = q
+	}
+	n.mu.Unlock()
+	n.wake(n.kick)
+	n.wake(n.comp)
+
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	out := make([]Result, 0, len(tasks))
+	for len(out) < len(tasks) {
+		select {
+		case r := <-n.results:
+			wanted, known := seen[r.ID]
+			if !known {
+				return out, fmt.Errorf("live: unexpected result id %d", r.ID)
+			}
+			if !wanted {
+				continue // duplicate from a re-executed task; ignore
+			}
+			seen[r.ID] = false
+			out = append(out, r)
+		case <-deadline.C:
+			return out, fmt.Errorf("live: timeout with %d of %d results", len(out), len(tasks))
+		case <-n.done:
+			return out, errors.New("live: node closed during run")
+		}
+		if err := n.Err(); err != nil {
+			return out, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// wake delivers a non-blocking signal.
+func (n *Node) wake(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// fail records the first fatal error and shuts down wakeups.
+func (n *Node) fail(err error) {
+	n.mu.Lock()
+	if n.err == nil && err != nil {
+		n.err = err
+	}
+	n.mu.Unlock()
+	n.wake(n.kick)
+	n.wake(n.comp)
+}
+
+// isClosed reports whether Close has begun.
+func (n *Node) isClosed() bool {
+	select {
+	case <-n.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// acceptLoop admits children.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		raw, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c := newConn(raw)
+		hello, err := c.recv()
+		if err != nil || hello.Kind != kindHello {
+			_ = c.close()
+			continue
+		}
+		sess := &childSession{name: hello.Name, c: c, outstanding: make(map[uint64]Task)}
+		n.mu.Lock()
+		n.children = append(n.children, sess)
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.childLoop(sess)
+	}
+}
+
+// childLoop reads one child's requests and relayed results.
+func (n *Node) childLoop(s *childSession) {
+	defer n.wg.Done()
+	for {
+		m, err := s.c.recv()
+		if err != nil {
+			n.mu.Lock()
+			s.gone = true
+			n.mu.Unlock()
+			n.wake(n.kick)
+			return
+		}
+		switch m.Kind {
+		case kindRequest:
+			n.mu.Lock()
+			s.pending += m.N
+			n.mu.Unlock()
+			n.wake(n.kick)
+		case kindResult:
+			n.mu.Lock()
+			delete(s.outstanding, m.Task)
+			n.mu.Unlock()
+			n.deliverResult(Result{ID: m.Task, Output: m.Output, Origin: m.Origin})
+		}
+	}
+}
+
+// parentLoop reads tasks arriving from the parent.
+func (n *Node) parentLoop() {
+	defer n.wg.Done()
+	for {
+		m, err := n.parent.recv()
+		if err != nil {
+			if !n.isClosed() && !errors.Is(err, io.EOF) {
+				n.fail(fmt.Errorf("live: parent link: %w", err))
+			}
+			return
+		}
+		switch m.Kind {
+		case kindChunk:
+			t, ok := n.inflightFor(m.Task)
+			if !ok {
+				continue
+			}
+			complete, err := t.feed(m)
+			if err != nil {
+				n.fail(err)
+				return
+			}
+			if complete {
+				n.mu.Lock()
+				delete(n.inflight, m.Task)
+				n.buffer = append(n.buffer, Task{ID: m.Task, Payload: t.payload})
+				n.stats.Received++
+				if q := len(n.buffer); q > n.stats.MaxQueued {
+					n.stats.MaxQueued = q
+				}
+				n.mu.Unlock()
+				n.wake(n.comp)
+				n.wake(n.kick)
+			}
+		case kindShutdown:
+			n.Close()
+			return
+		}
+	}
+}
+
+func (n *Node) inflightFor(id uint64) (*inTransfer, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, false
+	}
+	t, ok := n.inflight[id]
+	if !ok {
+		t = &inTransfer{id: id}
+		n.inflight[id] = t
+	}
+	return t, true
+}
+
+// deliverResult hands a result to the local collector (root) or relays it
+// to the parent.
+func (n *Node) deliverResult(r Result) {
+	if n.parent == nil {
+		select {
+		case n.results <- r:
+		case <-n.done:
+		}
+		return
+	}
+	if err := n.parent.send(&message{Kind: kindResult, Task: r.ID, Output: r.Output, Origin: r.Origin}); err != nil && !n.isClosed() {
+		n.fail(fmt.Errorf("live: relay result: %w", err))
+	}
+}
+
+// takeTask pops one buffered task, firing the request-on-free rule.
+func (n *Node) takeTask() (Task, bool) {
+	n.mu.Lock()
+	if len(n.buffer) == 0 {
+		n.mu.Unlock()
+		return Task{}, false
+	}
+	t := n.buffer[0]
+	n.buffer = n.buffer[1:]
+	hasParent := n.parent != nil
+	if hasParent {
+		n.stats.Requests++
+	}
+	n.mu.Unlock()
+	if hasParent {
+		if err := n.parent.send(&message{Kind: kindRequest, N: 1}); err != nil && !n.isClosed() {
+			n.fail(fmt.Errorf("live: request: %w", err))
+		}
+	}
+	return t, true
+}
+
+// computeLoop is the node's compute port: one task at a time.
+func (n *Node) computeLoop() {
+	defer n.wg.Done()
+	for {
+		t, ok := n.takeTask()
+		if !ok {
+			select {
+			case <-n.comp:
+				continue
+			case <-n.done:
+				return
+			}
+		}
+		out, err := n.cfg.Compute(t)
+		if err != nil {
+			n.fail(fmt.Errorf("live: compute task %d: %w", t.ID, err))
+			return
+		}
+		n.mu.Lock()
+		n.stats.Computed++
+		n.mu.Unlock()
+		n.deliverResult(Result{ID: t.ID, Output: out, Origin: n.cfg.Name})
+		if n.isClosed() {
+			return
+		}
+	}
+}

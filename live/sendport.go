@@ -1,0 +1,208 @@
+package live
+
+import (
+	"fmt"
+	"time"
+)
+
+// sendPort is the node's single outbound task port. Each iteration
+// advances exactly one transfer by one chunk, choosing the
+// highest-priority transfer by measured link speed — so under the
+// interruptible protocol a request from a faster child preempts a slower
+// child's transfer at the next chunk boundary, and the preempted transfer
+// later resumes from its offset (the paper's shelve-and-resume). Under the
+// non-interruptible protocol the port sticks with a transfer until its
+// last chunk.
+func (n *Node) sendPort() {
+	defer n.wg.Done()
+	for {
+		s := n.nextChunk()
+		if s == nil {
+			select {
+			case <-n.kick:
+				continue
+			case <-n.done:
+				return
+			}
+		}
+		n.sendChunk(s)
+		if n.isClosed() {
+			return
+		}
+	}
+}
+
+// nextChunk picks the child whose transfer the port should advance,
+// starting a fresh transfer (consuming a buffered task and the child's
+// request) when that child has no active one. It returns nil when there is
+// nothing to send.
+func (n *Node) nextChunk() *childSession {
+	n.mu.Lock()
+
+	// Reclaim work from children that disappeared: the in-flight transfer
+	// and every task delivered into the dead subtree without a result yet
+	// go back into the buffer for re-execution.
+	for _, s := range n.children {
+		if !s.gone {
+			continue
+		}
+		if s.active != nil {
+			n.buffer = append(n.buffer, s.active.task)
+			s.active = nil
+			n.wakeLocked()
+		}
+		if len(s.outstanding) > 0 {
+			for _, t := range s.outstanding {
+				n.buffer = append(n.buffer, t)
+			}
+			s.outstanding = make(map[uint64]Task)
+			n.wakeLocked()
+		}
+	}
+
+	var best *childSession
+	bestFresh := false
+	better := func(a *childSession, b *childSession) bool {
+		if b == nil {
+			return true
+		}
+		ka, kb := a.link.estimate(), b.link.estimate()
+		if ka != kb {
+			return ka < kb
+		}
+		return a.name < b.name
+	}
+	haveTask := len(n.buffer) > 0
+	for _, s := range n.children {
+		if s.gone {
+			continue
+		}
+		switch {
+		case s.active != nil:
+			if n.cfg.NonInterruptible {
+				// Run-to-completion: an unfinished transfer owns the port.
+				n.mu.Unlock()
+				return s
+			}
+			if better(s, best) {
+				best, bestFresh = s, false
+			}
+		case s.pending > 0 && haveTask:
+			if better(s, best) {
+				best, bestFresh = s, true
+			}
+		}
+	}
+	if best == nil {
+		n.mu.Unlock()
+		return nil
+	}
+
+	needReq := false
+	if bestFresh {
+		// Preemption accounting: starting a fresh transfer while another
+		// child's transfer is unfinished is an interruption.
+		for _, s := range n.children {
+			if s != best && s.active != nil {
+				n.stats.Interrupts++
+				break
+			}
+		}
+		t := n.buffer[0]
+		n.buffer = n.buffer[1:]
+		best.pending--
+		best.active = &outTransfer{task: t}
+		n.stats.Forwarded++
+		n.stats.ByChild[best.name]++
+		if n.parent != nil {
+			n.stats.Requests++
+			needReq = true
+		}
+	}
+	n.mu.Unlock()
+
+	if needReq {
+		// The freed buffer requests a refill (the paper's rule).
+		if err := n.parent.send(&message{Kind: kindRequest, N: 1}); err != nil && !n.isClosed() {
+			n.fail(fmt.Errorf("live: request: %w", err))
+		}
+	}
+	return best
+}
+
+// wakeLocked nudges compute and port; callers hold n.mu (the channels are
+// non-blocking, so signaling under the lock is safe).
+func (n *Node) wakeLocked() {
+	select {
+	case n.comp <- struct{}{}:
+	default:
+	}
+	select {
+	case n.kick <- struct{}{}:
+	default:
+	}
+}
+
+// sendChunk streams one chunk of s's active transfer, measures the time it
+// took (including any emulated link delay), and updates the child's
+// measured link speed — the only information the priority uses.
+func (n *Node) sendChunk(s *childSession) {
+	n.mu.Lock()
+	tr := s.active
+	if tr == nil || s.gone {
+		n.mu.Unlock()
+		return
+	}
+	payload := tr.task.Payload
+	offset := tr.offset
+	n.mu.Unlock()
+
+	end := offset + n.cfg.ChunkSize
+	if end > len(payload) {
+		end = len(payload)
+	}
+	last := end == len(payload)
+	m := &message{
+		Kind:   kindChunk,
+		Task:   tr.task.ID,
+		Size:   len(payload),
+		Offset: offset,
+		Data:   payload[offset:end],
+		Last:   last,
+	}
+
+	if n.cfg.LinkDelay != nil {
+		if d := n.cfg.LinkDelay(s.name); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	start := time.Now()
+	err := s.c.send(m)
+	s.link.observe(time.Since(start) + delayOf(n.cfg.LinkDelay, s.name))
+
+	n.mu.Lock()
+	if err != nil {
+		// The child is unreachable; reclaim the task on the next pick.
+		s.gone = true
+		n.mu.Unlock()
+		n.wake(n.kick)
+		return
+	}
+	tr.offset = end
+	if last {
+		// Fully delivered: the task is now the child's responsibility
+		// until its result passes back through.
+		s.outstanding[tr.task.ID] = tr.task
+		s.active = nil
+	}
+	n.mu.Unlock()
+}
+
+// delayOf folds the emulated link delay into the measured chunk time so
+// priorities reflect it.
+func delayOf(fn func(string) time.Duration, name string) time.Duration {
+	if fn == nil {
+		return 0
+	}
+	return fn(name)
+}

@@ -1,0 +1,97 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// StatusSnapshot is the JSON document served by the status endpoint.
+type StatusSnapshot struct {
+	Name     string             `json:"name"`
+	Root     bool               `json:"root"`
+	Buffered int                `json:"buffered"`
+	Children []string           `json:"children"`
+	Stats    Stats              `json:"stats"`
+	Links    map[string]float64 `json:"measuredLinkSeconds"` // EWMA per-chunk time by child
+	Uptime   string             `json:"uptime"`
+}
+
+// statusServer serves node introspection over HTTP.
+type statusServer struct {
+	node    *Node
+	started time.Time
+	srv     *http.Server
+	ln      net.Listener
+}
+
+// ServeStatus exposes the node's live statistics as JSON at /status on the
+// given address (use "127.0.0.1:0" for an ephemeral port; the chosen
+// address is returned). The endpoint is read-only introspection for
+// operating a deployed overlay; it stops when the node closes or
+// StopStatus is called.
+func (n *Node) ServeStatus(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("live: status listen: %w", err)
+	}
+	ss := &statusServer{node: n, started: time.Now(), ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", ss.handle)
+	ss.srv = &http.Server{Handler: mux}
+
+	n.mu.Lock()
+	if n.status != nil {
+		n.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("live: status endpoint already running")
+	}
+	n.status = ss
+	n.mu.Unlock()
+
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		_ = ss.srv.Serve(ln) // returns on Close
+	}()
+	return ln.Addr().String(), nil
+}
+
+// StopStatus shuts the status endpoint down; safe to call when none runs.
+func (n *Node) StopStatus() {
+	n.mu.Lock()
+	ss := n.status
+	n.status = nil
+	n.mu.Unlock()
+	if ss != nil {
+		_ = ss.srv.Close()
+	}
+}
+
+// handle renders the snapshot.
+func (s *statusServer) handle(w http.ResponseWriter, r *http.Request) {
+	n := s.node
+	n.mu.Lock()
+	snap := StatusSnapshot{
+		Name:     n.cfg.Name,
+		Root:     n.parent == nil,
+		Buffered: len(n.buffer),
+		Links:    map[string]float64{},
+		Uptime:   time.Since(s.started).Round(time.Millisecond).String(),
+	}
+	for _, c := range n.children {
+		if !c.gone {
+			snap.Children = append(snap.Children, c.name)
+			snap.Links[c.name] = c.link.estimate()
+		}
+	}
+	n.mu.Unlock()
+	snap.Stats = n.Stats()
+
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(snap)
+}

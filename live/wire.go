@@ -1,0 +1,142 @@
+package live
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// msgKind discriminates wire messages.
+type msgKind uint8
+
+const (
+	// kindHello introduces a child to its parent (child → parent).
+	kindHello msgKind = iota + 1
+	// kindRequest asks the parent for N more tasks (child → parent).
+	kindRequest
+	// kindChunk carries one slice of a task's payload (parent → child).
+	// Interruptible communication interleaves chunks of different
+	// children's transfers at the sending port; a single child's stream
+	// is always in order.
+	kindChunk
+	// kindResult returns a completed task's output, relayed hop by hop to
+	// the root (child → parent).
+	kindResult
+	// kindShutdown tells the subtree to wind down (parent → child).
+	kindShutdown
+)
+
+// message is the single wire envelope. One gob stream per direction per
+// connection.
+type message struct {
+	Kind msgKind
+
+	// Hello.
+	Name string
+
+	// Request.
+	N int
+
+	// Chunk.
+	Task   uint64
+	Size   int // total payload size, set on every chunk
+	Offset int
+	Data   []byte
+	Last   bool
+
+	// Result.
+	Output []byte
+	Origin string // name of the node that computed the task
+}
+
+// conn wraps a network connection with gob codecs and a write lock so
+// multiple goroutines (request sender, result relay, send port) can share
+// the outbound stream safely.
+type conn struct {
+	raw net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	wmu sync.Mutex
+}
+
+func newConn(raw net.Conn) *conn {
+	return &conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+}
+
+// send writes one message, serialized with the connection's write lock.
+func (c *conn) send(m *message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.enc.Encode(m)
+}
+
+// recv reads the next message.
+func (c *conn) recv() (*message, error) {
+	var m message
+	if err := c.dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func (c *conn) close() error { return c.raw.Close() }
+
+// inTransfer assembles a task arriving in chunks.
+type inTransfer struct {
+	id      uint64
+	payload []byte
+	got     int
+}
+
+// feed applies one chunk and reports whether the task is complete.
+func (t *inTransfer) feed(m *message) (bool, error) {
+	if t.payload == nil {
+		t.payload = make([]byte, m.Size)
+	}
+	if m.Offset+len(m.Data) > len(t.payload) {
+		return false, fmt.Errorf("live: chunk overflows task %d: offset %d + %d > %d", m.Task, m.Offset, len(m.Data), len(t.payload))
+	}
+	copy(t.payload[m.Offset:], m.Data)
+	t.got += len(m.Data)
+	if m.Last {
+		if t.got != len(t.payload) {
+			return false, fmt.Errorf("live: task %d incomplete: %d of %d bytes", m.Task, t.got, len(t.payload))
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// ewma tracks an exponentially weighted moving average of duration
+// samples; the send port uses it as the measured per-chunk communication
+// time of each child — the locally observable quantity bandwidth-centric
+// priorities are built on.
+type ewma struct {
+	mu    sync.Mutex
+	value float64 // seconds
+	seen  bool
+}
+
+const ewmaAlpha = 0.25
+
+func (e *ewma) observe(d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := d.Seconds()
+	if !e.seen {
+		e.value = s
+		e.seen = true
+		return
+	}
+	e.value = ewmaAlpha*s + (1-ewmaAlpha)*e.value
+}
+
+// estimate returns the current average in seconds; unmeasured links
+// report 0, so fresh children are probed at top priority.
+func (e *ewma) estimate() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value
+}

@@ -1,0 +1,82 @@
+package live
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInTransferAssembly(t *testing.T) {
+	tr := &inTransfer{id: 1}
+	// Three chunks of a 10-byte payload.
+	chunks := []*message{
+		{Task: 1, Size: 10, Offset: 0, Data: []byte{0, 1, 2, 3}},
+		{Task: 1, Size: 10, Offset: 4, Data: []byte{4, 5, 6, 7}},
+		{Task: 1, Size: 10, Offset: 8, Data: []byte{8, 9}, Last: true},
+	}
+	for i, m := range chunks {
+		done, err := tr.feed(m)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if done != (i == len(chunks)-1) {
+			t.Fatalf("chunk %d done=%v", i, done)
+		}
+	}
+	for i, b := range tr.payload {
+		if int(b) != i {
+			t.Fatalf("payload[%d] = %d", i, b)
+		}
+	}
+}
+
+func TestInTransferRejectsOverflowAndShort(t *testing.T) {
+	tr := &inTransfer{id: 2}
+	if _, err := tr.feed(&message{Task: 2, Size: 4, Offset: 2, Data: []byte{1, 2, 3}}); err == nil {
+		t.Fatalf("overflowing chunk accepted")
+	}
+	tr2 := &inTransfer{id: 3}
+	if _, err := tr2.feed(&message{Task: 3, Size: 8, Offset: 0, Data: []byte{1, 2}, Last: true}); err == nil {
+		t.Fatalf("short final chunk accepted")
+	}
+}
+
+func TestEwma(t *testing.T) {
+	var e ewma
+	if e.estimate() != 0 {
+		t.Fatalf("fresh estimate not zero")
+	}
+	e.observe(100 * time.Millisecond)
+	if got := e.estimate(); got != 0.1 {
+		t.Fatalf("first observation not adopted: %v", got)
+	}
+	e.observe(200 * time.Millisecond)
+	got := e.estimate()
+	if got <= 0.1 || got >= 0.2 {
+		t.Fatalf("EWMA %v not between samples", got)
+	}
+}
+
+// FuzzInTransferFeed hardens chunk assembly against malformed wire input:
+// feed must never panic or write out of bounds, whatever offsets and sizes
+// arrive.
+func FuzzInTransferFeed(f *testing.F) {
+	f.Add(10, 0, 4, false)
+	f.Add(10, 8, 2, true)
+	f.Add(0, 0, 0, true)
+	f.Add(4, 2, 3, false)
+	f.Add(1<<20, 1<<19, 4096, false)
+	f.Fuzz(func(t *testing.T, size, offset, dataLen int, last bool) {
+		if size < 0 || size > 1<<22 || offset < 0 || dataLen < 0 || dataLen > 1<<16 {
+			t.Skip()
+		}
+		tr := &inTransfer{id: 9}
+		m := &message{Task: 9, Size: size, Offset: offset, Data: make([]byte, dataLen), Last: last}
+		done, err := tr.feed(m)
+		if err != nil {
+			return // rejected malformed input: fine
+		}
+		if done && tr.got != len(tr.payload) {
+			t.Fatalf("reported done with %d of %d bytes", tr.got, len(tr.payload))
+		}
+	})
+}
