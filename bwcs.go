@@ -42,6 +42,7 @@
 package bwcs
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -153,8 +154,19 @@ type AttachMutation = engine.AttachMutation
 type DepartMutation = engine.DepartMutation
 
 // Simulate executes an independent-task application on a platform tree
-// under an autonomous protocol, deterministically.
+// under an autonomous protocol, deterministically. It is equivalent to
+// SimulateContext with context.Background().
 func Simulate(cfg SimConfig) (*SimResult, error) { return engine.Run(cfg) }
+
+// SimulateContext is Simulate under a context: the run polls ctx every
+// few thousand simulator events and abandons the sweep with a wrapped
+// ctx.Err() once it is canceled or its deadline passes. Determinism is
+// unaffected — an uncanceled SimulateContext run returns exactly what
+// Simulate returns. Any Ctx already set in cfg is overridden.
+func SimulateContext(ctx context.Context, cfg SimConfig) (*SimResult, error) {
+	cfg.Ctx = ctx
+	return engine.Run(cfg)
+}
 
 // RateSeries is the sliding-growing-window throughput analysis of a run.
 type RateSeries = window.Series
@@ -223,10 +235,18 @@ type Summary struct {
 // The experiment harness (bwexp, internal/experiments) keeps the strict
 // detector for paper fidelity.
 func Evaluate(t *Tree, p Protocol, tasks int64) (*Summary, error) {
+	return EvaluateContext(context.Background(), t, p, tasks)
+}
+
+// EvaluateContext is Evaluate under a context: long simulations of large
+// platforms poll ctx every few thousand simulator events, so deadlines
+// and interactive cancellation (ctrl-c) take effect mid-run instead of
+// after the sweep drains. A canceled run returns a wrapped ctx.Err().
+func EvaluateContext(ctx context.Context, t *Tree, p Protocol, tasks int64) (*Summary, error) {
 	if tasks < 2 {
 		return nil, fmt.Errorf("bwcs: need at least 2 tasks, got %d", tasks)
 	}
-	res, err := engine.Run(engine.Config{Tree: t, Protocol: p, Tasks: tasks})
+	res, err := engine.Run(engine.Config{Tree: t, Protocol: p, Tasks: tasks, Ctx: ctx})
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,10 @@ package bwcs
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
+	"time"
 )
 
 func TestQuickstartFlow(t *testing.T) {
@@ -107,5 +110,49 @@ func TestRateSeriesThroughFacade(t *testing.T) {
 	}
 	if s.Windows() != 400 {
 		t.Fatalf("windows = %d", s.Windows())
+	}
+}
+
+func TestSimulateContextMatchesSimulate(t *testing.T) {
+	cfg := SimConfig{Tree: ExampleTree(), Protocol: IC(3), Tasks: 500}
+	plain, err := Simulate(cfg)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	ctxed, err := SimulateContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("SimulateContext: %v", err)
+	}
+	if plain.Makespan != ctxed.Makespan || plain.Steps != ctxed.Steps {
+		t.Fatalf("context run diverged: makespan %v vs %v, steps %d vs %d",
+			plain.Makespan, ctxed.Makespan, plain.Steps, ctxed.Steps)
+	}
+}
+
+func TestSimulateContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // pre-canceled: the run must abort, not drain
+	_, err := SimulateContext(ctx, SimConfig{Tree: ExampleTree(), Protocol: IC(3), Tasks: 5000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestEvaluateContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := EvaluateContext(ctx, ExampleTree(), IC(3), 5000)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+}
+
+func TestEvaluateContextUncanceled(t *testing.T) {
+	sum, err := EvaluateContext(context.Background(), ExampleTree(), IC(3), 800)
+	if err != nil {
+		t.Fatalf("EvaluateContext: %v", err)
+	}
+	if len(sum.Result.Completions) != 800 {
+		t.Fatalf("completions = %d", len(sum.Result.Completions))
 	}
 }

@@ -14,13 +14,19 @@
 //	bwnode -name w3 -parent 127.0.0.1:7001 -compute-ms 2     # deeper in the tree
 //
 // Workers may join while the application runs; the protocol folds them in
-// with no coordination beyond their own requests. The synthetic "compute"
-// hashes the payload repeatedly for the configured duration, standing in
-// for a real independent-task application.
+// with no coordination beyond their own requests. Links are supervised by
+// heartbeats, a worker that loses its parent re-dials with capped
+// exponential backoff, and a parent requeues a dead subtree's tasks for
+// re-execution — so killing a worker mid-run costs throughput, not the
+// run. The synthetic "compute" hashes the payload repeatedly for the
+// configured duration, standing in for a real independent-task
+// application.
 package main
 
 import (
+	"context"
 	"crypto/sha256"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +57,13 @@ func run(args []string) error {
 		size      = fs.Int("size", 4096, "root only: task payload bytes")
 		timeout   = fs.Duration("timeout", 10*time.Minute, "root only: run deadline")
 		status    = fs.String("status", "", "serve JSON node statistics at this address (e.g. 127.0.0.1:8080)")
+
+		heartbeat = fs.Duration("heartbeat", time.Second, "per-link heartbeat interval (negative disables supervision)")
+		hbMisses  = fs.Int("heartbeat-misses", 3, "consecutive silent intervals before a link is severed")
+		reBase    = fs.Duration("reconnect-base", 100*time.Millisecond, "first reconnect backoff delay")
+		reCap     = fs.Duration("reconnect-cap", 2*time.Second, "reconnect backoff ceiling")
+		reTries   = fs.Int("reconnect-attempts", 5, "parent re-dials before giving up (negative disables reconnection)")
+		grace     = fs.Duration("grace", 5*time.Second, "how long a dead child stays revivable before its tasks requeue")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,15 +75,20 @@ func run(args []string) error {
 		return fmt.Errorf("a root needs -tasks")
 	}
 
-	node, err := live.Start(live.Config{
-		Name:             *name,
-		Listen:           *listen,
-		Parent:           *parent,
-		Buffers:          *buffers,
-		NonInterruptible: *nonIC,
-		ChunkSize:        *chunk,
-		Compute:          hashCompute(time.Duration(*computeMS) * time.Millisecond),
-	})
+	opts := []live.Option{
+		live.WithListen(*listen),
+		live.WithParent(*parent),
+		live.WithBuffers(*buffers),
+		live.WithChunkSize(*chunk),
+		live.WithCompute(hashCompute(time.Duration(*computeMS) * time.Millisecond)),
+		live.WithHeartbeat(*heartbeat, *hbMisses),
+		live.WithReconnect(*reBase, *reCap, *reTries),
+		live.WithReconnectGrace(*grace),
+	}
+	if *nonIC {
+		opts = append(opts, live.NonInterruptible())
+	}
+	node, err := live.Start(*name, opts...)
 	if err != nil {
 		return err
 	}
@@ -86,18 +104,28 @@ func run(args []string) error {
 		fmt.Printf("%s status at http://%s/status\n", *name, addr)
 	}
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
 	if *parent != "" {
-		// Worker: serve until interrupted or the parent shuts us down.
+		// Worker: serve until interrupted, the parent winds us down, or
+		// the node fails for good (reconnect attempts exhausted).
 		fmt.Printf("%s joined parent %s; serving (ctrl-c to leave)\n", *name, *parent)
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
+		var fatal error
+		select {
+		case <-ctx.Done():
+		case <-node.Done():
+		case <-node.Failed():
+			fatal = node.Err()
+		}
 		s := node.Stats()
 		fmt.Printf("%s leaving: computed %d, forwarded %d, requests %d\n", *name, s.Computed, s.Forwarded, s.Requests)
-		return nil
+		printRecovery(*name, s)
+		return fatal
 	}
 
-	// Root: build the workload, run it, report.
+	// Root: build the workload, run it, report. Ctrl-c cancels the run;
+	// -timeout is the context deadline.
 	work := make([]live.Task, *tasks)
 	for i := range work {
 		payload := make([]byte, *size)
@@ -106,9 +134,15 @@ func run(args []string) error {
 		}
 		work[i] = live.Task{ID: uint64(i + 1), Payload: payload}
 	}
+	runCtx, cancelRun := context.WithTimeout(ctx, *timeout)
+	defer cancelRun()
 	start := time.Now()
-	results, err := node.Run(work, *timeout)
+	results, err := node.Run(runCtx, work)
 	if err != nil {
+		var te *live.TimeoutError
+		if errors.As(err, &te) {
+			fmt.Printf("timed out with %d of %d results\n", te.Received, te.Expected)
+		}
 		return err
 	}
 	elapsed := time.Since(start)
@@ -123,7 +157,18 @@ func run(args []string) error {
 	}
 	s := node.Stats()
 	fmt.Printf("root: computed %d, forwarded %d, interrupts %d\n", s.Computed, s.Forwarded, s.Interrupts)
+	printRecovery("root", s)
 	return nil
+}
+
+// printRecovery reports the fault-tolerance counters when anything
+// actually went wrong (and recovered); a clean run prints nothing.
+func printRecovery(name string, s live.Stats) {
+	if s.Reconnects+s.Requeued+s.Resumed+s.HeartbeatMisses == 0 {
+		return
+	}
+	fmt.Printf("%s recovery: reconnects %d, requeued %d, resumed %d, heartbeat misses %d\n",
+		name, s.Reconnects, s.Requeued, s.Resumed, s.HeartbeatMisses)
 }
 
 // hashCompute burns roughly d of CPU per task by re-hashing the payload,

@@ -35,7 +35,7 @@ func TestRootRunsAloneAndWithWorker(t *testing.T) {
 	// still exercised; only skip the worker assertions then.
 	var worker *live.Node
 	for i := 0; i < 100; i++ {
-		w, err := live.Start(live.Config{
+		w, err := live.StartConfig(live.Config{
 			Name: "w", Parent: addr, Buffers: 2,
 			Compute: func(t live.Task) ([]byte, error) { return nil, nil },
 		})

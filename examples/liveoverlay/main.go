@@ -7,10 +7,13 @@
 // emulated slow link. The root measures each link as it sends (an EWMA of
 // chunk times — purely local information) and routes work
 // bandwidth-centrically; a third worker joins halfway through the run and
-// is folded in automatically.
+// is folded in automatically. The near worker's connection is severed
+// mid-run by a scripted fault — it reconnects with backoff and the run
+// completes anyway, every result delivered exactly once.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -36,22 +39,37 @@ func main() {
 		return 500 * time.Microsecond
 	}
 
-	root, err := live.Start(live.Config{
-		Name: "root", Listen: "127.0.0.1:0", Buffers: 3,
-		Compute:   compute(50 * time.Millisecond),
-		LinkDelay: linkDelay,
-	})
+	root, err := live.Start("root",
+		live.WithListen("127.0.0.1:0"),
+		live.WithCompute(compute(50*time.Millisecond)),
+		live.WithLinkDelay(linkDelay),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer root.Close()
 
-	near, err := live.Start(live.Config{Name: "nearworker", Parent: root.Addr(), Buffers: 3, Compute: compute(3 * time.Millisecond)})
+	// The near worker's uplink is severed by a scripted fault after its
+	// 40th received chunk — standing in for a flaky network. Its reconnect
+	// machinery re-dials the root and the run absorbs the blip.
+	nearFaults := live.NewFaultPlan(live.FaultRule{
+		Link: "parent", Dir: live.FaultRecv, Kind: live.FrameChunk,
+		After: 40, Op: live.FaultSever,
+	})
+	near, err := live.Start("nearworker",
+		live.WithParent(root.Addr()),
+		live.WithCompute(compute(3*time.Millisecond)),
+		live.WithFaultPlan(nearFaults),
+		live.WithReconnect(20*time.Millisecond, 200*time.Millisecond, 5),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer near.Close()
-	far, err := live.Start(live.Config{Name: "farworker", Parent: root.Addr(), Buffers: 3, Compute: compute(3 * time.Millisecond)})
+	far, err := live.Start("farworker",
+		live.WithParent(root.Addr()),
+		live.WithCompute(compute(3*time.Millisecond)),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +79,10 @@ func main() {
 	// and starts requesting tasks.
 	go func() {
 		time.Sleep(300 * time.Millisecond)
-		late, err := live.Start(live.Config{Name: "latecomer", Parent: root.Addr(), Buffers: 3, Compute: compute(3 * time.Millisecond)})
+		late, err := live.Start("latecomer",
+			live.WithParent(root.Addr()),
+			live.WithCompute(compute(3*time.Millisecond)),
+		)
 		if err != nil {
 			log.Print(err)
 			return
@@ -74,8 +95,10 @@ func main() {
 	for i := range work {
 		work[i] = live.Task{ID: uint64(i + 1), Payload: make([]byte, 2048)}
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
 	start := time.Now()
-	results, err := root.Run(work, 2*time.Minute)
+	results, err := root.Run(ctx, work)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,5 +117,9 @@ func main() {
 	fmt.Printf("\nroot send port: %d forwards, %d preemptions; per child: %v\n", s.Forwarded, s.Interrupts, s.ByChild)
 	if byOrigin["nearworker"] > byOrigin["farworker"] {
 		fmt.Println("the near (fast-link) worker was preferred — bandwidth-centric, from measured link times only")
+	}
+	if ns := near.Stats(); ns.Reconnects > 0 {
+		fmt.Printf("nearworker survived a severed link: %d reconnect(s); root requeued %d, resumed %d transfers\n",
+			ns.Reconnects, s.Requeued, s.Resumed)
 	}
 }

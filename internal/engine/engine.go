@@ -38,6 +38,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"slices"
@@ -112,6 +113,12 @@ type Config struct {
 	// MaxSteps aborts the run after this many simulator events when
 	// positive, as a runaway guard.
 	MaxSteps uint64
+
+	// Ctx, when non-nil, is checked for cancellation every few thousand
+	// simulator events, so long sweeps over large platforms can be
+	// abandoned (deadlines, ctrl-c) without waiting for the run to
+	// drain. A nil Ctx runs to completion, the zero-cost default.
+	Ctx context.Context
 
 	// Tracer, when non-nil, observes every scheduling action as it
 	// happens (see the trace package for recorders and renderers).
@@ -406,7 +413,9 @@ func Run(cfg Config) (*Result, error) {
 		e.trySchedule(int32(id))
 	}
 
-	e.s.Run(cfg.MaxSteps)
+	if err := e.runEvents(); err != nil {
+		return nil, err
+	}
 	if cfg.MaxSteps > 0 && e.s.Steps() >= cfg.MaxSteps && e.completed < cfg.Tasks {
 		return nil, fmt.Errorf("engine: aborted after %d steps with %d/%d tasks complete", e.s.Steps(), e.completed, cfg.Tasks)
 	}
@@ -432,6 +441,41 @@ func Run(cfg Config) (*Result, error) {
 		res.Nodes[i].Departed = e.nodes[i].departed
 	}
 	return res, nil
+}
+
+// ctxCheckEvery is how many simulator events fire between cancellation
+// checks — coarse enough that the check is free relative to event
+// handling, fine enough that cancellation lands within microseconds.
+const ctxCheckEvery = 4096
+
+// runEvents drains the event queue, honoring MaxSteps and, when a
+// context is configured, polling it for cancellation between batches.
+func (e *engine) runEvents() error {
+	if e.cfg.Ctx == nil {
+		e.s.Run(e.cfg.MaxSteps)
+		return nil
+	}
+	var fired uint64
+	for {
+		if err := e.cfg.Ctx.Err(); err != nil {
+			return fmt.Errorf("engine: run canceled after %d events with %d/%d tasks complete: %w",
+				e.s.Steps(), e.completed, e.cfg.Tasks, err)
+		}
+		limit := uint64(ctxCheckEvery)
+		if e.cfg.MaxSteps > 0 {
+			if rem := e.cfg.MaxSteps - fired; rem < limit {
+				limit = rem
+			}
+			if limit == 0 {
+				return nil
+			}
+		}
+		k := e.s.Run(limit)
+		fired += k
+		if k < limit {
+			return nil // queue drained
+		}
+	}
 }
 
 // initNodes (re)builds runtime state for tree nodes with ID >= from,

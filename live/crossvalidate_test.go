@@ -56,7 +56,7 @@ func TestSimAndLiveAgreeOnTaskSplit(t *testing.T) {
 	for name, w := range map[string]int64{"A": 4, "B": 2, "C": 8} {
 		workers[name] = startNode(t, Config{Name: name, Parent: root.Addr(), Buffers: 3, Compute: sleepCompute(w)})
 	}
-	if _, err := root.Run(makeTasks(tasks, 64), 120*time.Second); err != nil {
+	if _, err := root.RunTimeout(makeTasks(tasks, 64), 120*time.Second); err != nil {
 		t.Fatalf("live run: %v", err)
 	}
 
@@ -85,6 +85,77 @@ func TestSimAndLiveAgreeOnTaskSplit(t *testing.T) {
 	if simWinner != liveWinner {
 		t.Fatalf("winners disagree: sim %s, live %s", simWinner, liveWinner)
 	}
+}
+
+// TestSimAndLiveAgreeOnDeparture cross-validates the failure-recovery
+// semantics: the engine's DepartMutation (a subtree leaves mid-run, its
+// tasks requeue at the root) against the live runtime's recovery from a
+// severed link with reconnection disabled — the same logical event. Both
+// worlds must complete every task anyway, and both must record requeues.
+func TestSimAndLiveAgreeOnDeparture(t *testing.T) {
+	const tasks = 90
+
+	// Platform: root w=30 with two equal children; one departs mid-run.
+	tr := tree.New(30)
+	tr.AddChild(tr.Root(), 3, 1) // A: stays
+	tr.AddChild(tr.Root(), 3, 1) // D: departs after 30 tasks
+
+	sim, err := engine.Run(engine.Config{
+		Tree: tr, Protocol: protocol.Interruptible(3), Tasks: tasks,
+		Departures: []engine.DepartMutation{{AfterTasks: 30, Node: 2}},
+	})
+	if err != nil {
+		t.Fatalf("engine with departure: %v", err)
+	}
+	if got := int64(len(sim.Completions)); got != tasks {
+		t.Fatalf("engine completed %d of %d tasks after the departure", got, tasks)
+	}
+	if sim.Requeued == 0 {
+		t.Fatalf("engine departure requeued nothing")
+	}
+	if !sim.Nodes[2].Departed {
+		t.Fatalf("node 2 not marked departed")
+	}
+
+	// Live: the same shape. D's uplink is severed by a scripted fault and
+	// its reconnection is disabled, so the sever is a permanent departure;
+	// the root reclaims after a short grace window.
+	root := startNode(t, Config{
+		Name: "root", Listen: "127.0.0.1:0", Buffers: 3,
+		Compute:        echoCompute(30 * time.Millisecond),
+		ChunkSize:      256,
+		ReconnectGrace: 50 * time.Millisecond,
+	})
+	a := startNode(t, Config{
+		Name: "A", Parent: root.Addr(), Buffers: 3, Compute: echoCompute(3 * time.Millisecond),
+	})
+	d := startNode(t, Config{
+		Name: "D", Parent: root.Addr(), Buffers: 3, Compute: echoCompute(3 * time.Millisecond),
+		ChunkSize: 256,
+		Faults: NewFaultPlan(FaultRule{
+			Link: "parent", Dir: FaultRecv, Kind: FrameChunk,
+			After: 40, Op: FaultSever,
+		}),
+		ReconnectAttempts: -1, // a severed link is a permanent departure
+	})
+	results, err := root.RunTimeout(makeTasks(tasks, 2048), 60*time.Second)
+	if err != nil {
+		t.Fatalf("live run across the departure: %v", err)
+	}
+	if len(results) != tasks {
+		t.Fatalf("live completed %d of %d tasks after the departure", len(results), tasks)
+	}
+	if got := root.Stats().Requeued; got == 0 {
+		t.Fatalf("live departure requeued nothing")
+	}
+	if a.Stats().Computed == 0 {
+		t.Fatalf("the surviving worker computed nothing")
+	}
+	if d.Err() == nil {
+		t.Fatalf("the departed worker should have declared its parent lost")
+	}
+	t.Logf("requeued: sim %d, live %d; departed worker computed %d before the sever",
+		sim.Requeued, root.Stats().Requeued, d.Stats().Computed)
 }
 
 func argmax(m map[string]int64) string {

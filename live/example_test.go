@@ -1,6 +1,7 @@
 package live_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -13,29 +14,25 @@ import (
 // the (deterministic) result count is asserted — how the ten tasks split
 // between the two CPUs depends on wall-clock timing.
 func Example() {
-	root, err := live.Start(live.Config{
-		Name:    "root",
-		Listen:  "127.0.0.1:0",
-		Buffers: 3,
-		Compute: func(t live.Task) ([]byte, error) {
+	root, err := live.Start("root",
+		live.WithListen("127.0.0.1:0"),
+		live.WithCompute(func(t live.Task) ([]byte, error) {
 			time.Sleep(5 * time.Millisecond) // the root's own CPU
 			return t.Payload, nil
-		},
-	})
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer root.Close()
 
-	worker, err := live.Start(live.Config{
-		Name:    "worker",
-		Parent:  root.Addr(), // join by address — nothing else to configure
-		Buffers: 3,
-		Compute: func(t live.Task) ([]byte, error) {
+	worker, err := live.Start("worker",
+		live.WithParent(root.Addr()), // join by address — nothing else to configure
+		live.WithCompute(func(t live.Task) ([]byte, error) {
 			time.Sleep(time.Millisecond)
 			return t.Payload, nil
-		},
-	})
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +42,9 @@ func Example() {
 	for i := range tasks {
 		tasks[i] = live.Task{ID: uint64(i + 1), Payload: []byte("work unit")}
 	}
-	results, err := root.Run(tasks, time.Minute)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	results, err := root.Run(ctx, tasks)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,261 @@
+package live
+
+// Unit tests for the deterministic fault-injection harness, plus the
+// acceptance test the fault tolerance work exists for: severing a
+// mid-tree node's uplink mid-run must cost throughput, not the run.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFaultPlanDecide(t *testing.T) {
+	t.Run("after counts matching frames", func(t *testing.T) {
+		p := NewFaultPlan(FaultRule{Kind: FrameChunk, After: 3, Op: FaultDrop})
+		for i := 1; i <= 2; i++ {
+			if op, _ := p.decide(FaultRecv, "parent", FrameChunk); op != faultNone {
+				t.Fatalf("fired on chunk %d, want the 3rd", i)
+			}
+		}
+		// Non-matching kinds must not advance the counter.
+		if op, _ := p.decide(FaultRecv, "parent", FrameHeartbeat); op != faultNone {
+			t.Fatalf("fired on a non-matching kind")
+		}
+		if op, _ := p.decide(FaultRecv, "parent", FrameChunk); op != FaultDrop {
+			t.Fatalf("did not fire on the 3rd chunk")
+		}
+		if op, _ := p.decide(FaultRecv, "parent", FrameChunk); op != faultNone {
+			t.Fatalf("one-shot rule fired twice")
+		}
+	})
+
+	t.Run("repeat fires forever from after", func(t *testing.T) {
+		p := NewFaultPlan(FaultRule{After: 2, Repeat: true, Op: FaultDrop})
+		if op, _ := p.decide(FaultSend, "x", FrameRequest); op != faultNone {
+			t.Fatalf("fired before After")
+		}
+		for i := 0; i < 5; i++ {
+			if op, _ := p.decide(FaultSend, "x", FrameRequest); op != FaultDrop {
+				t.Fatalf("repeat rule stopped firing at %d", i)
+			}
+		}
+		if p.Pending() != 0 {
+			t.Fatalf("a fired repeat rule still counts as pending")
+		}
+	})
+
+	t.Run("selectors filter link dir kind", func(t *testing.T) {
+		p := NewFaultPlan(FaultRule{Link: "a", Dir: FaultSend, Kind: FrameResult, Op: FaultSever})
+		miss := []struct {
+			dir  FaultDir
+			link string
+			kind FrameKind
+		}{
+			{FaultSend, "b", FrameResult},   // wrong link
+			{FaultRecv, "a", FrameResult},   // wrong direction
+			{FaultSend, "a", FrameChunkAck}, // wrong kind
+		}
+		for _, m := range miss {
+			if op, _ := p.decide(m.dir, m.link, m.kind); op != faultNone {
+				t.Fatalf("rule fired for %+v", m)
+			}
+		}
+		if op, _ := p.decide(FaultSend, "a", FrameResult); op != FaultSever {
+			t.Fatalf("rule did not fire for its exact selector")
+		}
+	})
+
+	t.Run("first match wins and delay carries", func(t *testing.T) {
+		p := NewFaultPlan(
+			FaultRule{Kind: FrameChunk, Op: FaultDelay, Delay: 7 * time.Millisecond},
+			FaultRule{Op: FaultDrop}, // wildcard, shadowed for chunks
+		)
+		op, d := p.decide(FaultRecv, "parent", FrameChunk)
+		if op != FaultDelay || d != 7*time.Millisecond {
+			t.Fatalf("decide = %v/%v, want delay 7ms", op, d)
+		}
+		if op, _ := p.decide(FaultRecv, "parent", FrameHeartbeat); op != FaultDrop {
+			t.Fatalf("second rule did not catch the non-chunk frame")
+		}
+	})
+
+	t.Run("nil plan injects nothing", func(t *testing.T) {
+		var p *FaultPlan
+		if op, _ := p.decide(FaultSend, "a", FrameChunk); op != faultNone {
+			t.Fatalf("nil plan fired")
+		}
+	})
+
+	t.Run("pending", func(t *testing.T) {
+		p := NewFaultPlan(
+			FaultRule{Kind: FrameChunk, Op: FaultDrop},
+			FaultRule{Kind: FrameResult, Op: FaultDrop},
+		)
+		if p.Pending() != 2 {
+			t.Fatalf("Pending = %d, want 2", p.Pending())
+		}
+		p.decide(FaultRecv, "parent", FrameChunk)
+		if p.Pending() != 1 {
+			t.Fatalf("Pending = %d after one fire, want 1", p.Pending())
+		}
+	})
+}
+
+// TestSeveredMidTreeNodeRecovers is the acceptance scenario for the fault
+// tolerance work: a three-level overlay whose middle node has its uplink
+// cut by a scripted fault mid-run. The root must reclaim and requeue the
+// dead subtree's tasks, the middle node must reconnect with backoff, and
+// the run must complete with every result delivered to the root exactly
+// once — at-least-once execution, exactly-once delivery.
+func TestSeveredMidTreeNodeRecovers(t *testing.T) {
+	const tasks = 60
+
+	root := startNode(t, Config{
+		Name: "root", Listen: "127.0.0.1:0", Buffers: 3,
+		Compute:        echoCompute(25 * time.Millisecond), // slow root: work flows down
+		ChunkSize:      256,
+		ReconnectGrace: -1, // reclaim a dead child's tasks immediately
+	})
+
+	// The scripted fault: mid's uplink is severed while it receives its
+	// 15th chunk — mid-payload, so the root holds an in-flight transfer
+	// (and outstanding tasks) to reclaim.
+	sever := NewFaultPlan(FaultRule{
+		Link: "parent", Dir: FaultRecv, Kind: FrameChunk,
+		After: 15, Op: FaultSever,
+	})
+	mid := startNode(t, Config{
+		Name: "mid", Parent: root.Addr(), Listen: "127.0.0.1:0", Buffers: 3,
+		Compute:       echoCompute(5 * time.Millisecond),
+		ChunkSize:     256,
+		Faults:        sever,
+		ReconnectBase: 50 * time.Millisecond, ReconnectCap: 200 * time.Millisecond, ReconnectAttempts: 10,
+	})
+	leaf := startNode(t, Config{
+		Name: "leaf", Parent: mid.Addr(), Buffers: 3,
+		Compute: echoCompute(2 * time.Millisecond),
+	})
+
+	results, err := root.RunTimeout(makeTasks(tasks, 2048), 60*time.Second)
+	if err != nil {
+		t.Fatalf("Run across the sever: %v", err)
+	}
+
+	// Exactly-once delivery: every task ID present, none twice.
+	if len(results) != tasks {
+		t.Fatalf("results = %d, want %d", len(results), tasks)
+	}
+	seen := make(map[uint64]bool, tasks)
+	for _, r := range results {
+		if seen[r.ID] {
+			t.Fatalf("task %d delivered twice", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	for id := uint64(1); id <= tasks; id++ {
+		if !seen[id] {
+			t.Fatalf("task %d never delivered", id)
+		}
+	}
+
+	if sever.Pending() != 0 {
+		t.Fatalf("the scripted sever never fired")
+	}
+	if got := root.Stats().Requeued; got == 0 {
+		t.Fatalf("root reclaimed nothing from the severed subtree")
+	}
+	if got := mid.Stats().Reconnects; got == 0 {
+		t.Fatalf("mid never reconnected to the root")
+	}
+	if leaf.Stats().Computed == 0 {
+		t.Fatalf("leaf never worked; the subtree below the sever stalled")
+	}
+	t.Logf("requeued %d, reconnects %d, leaf computed %d",
+		root.Stats().Requeued, mid.Stats().Reconnects, leaf.Stats().Computed)
+}
+
+// TestSeveredFinalChunkIsRedelivered pins the nastiest revival case: with
+// single-chunk tasks the sever swallows a *final* chunk in flight, so the
+// parent has written everything ("sentAll") while the child holds nothing
+// — and offers no resume state, exactly as if only the ack had been lost.
+// The parent must retransmit rather than assume delivery, or the task is
+// never computed and the run hangs.
+func TestSeveredFinalChunkIsRedelivered(t *testing.T) {
+	sever := NewFaultPlan(FaultRule{
+		Link: "parent", Dir: FaultRecv, Kind: FrameChunk,
+		After: 5, Op: FaultSever,
+	})
+	root := startNode(t, Config{
+		Name: "root", Listen: "127.0.0.1:0", Buffers: 3,
+		Compute:        echoCompute(40 * time.Millisecond),
+		ChunkSize:      1 << 16, // every task is one chunk: the sever eats a Last chunk
+		ReconnectGrace: 10 * time.Second,
+	})
+	w := startNode(t, Config{
+		Name: "w", Parent: root.Addr(), Buffers: 3,
+		Compute:       echoCompute(2 * time.Millisecond),
+		Faults:        sever,
+		ReconnectBase: 10 * time.Millisecond, ReconnectCap: 50 * time.Millisecond, ReconnectAttempts: 10,
+	})
+
+	results, err := root.RunTimeout(makeTasks(30, 512), 30*time.Second)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(results) != 30 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if sever.Pending() != 0 {
+		t.Fatalf("the scripted sever never fired")
+	}
+	if w.Stats().Reconnects == 0 {
+		t.Fatalf("worker never reconnected")
+	}
+}
+
+// TestResumeFromLastAckedChunk drives the resume path specifically: the
+// child reconnects within the grace window, so the parent revives the
+// session and continues the interrupted transfer from the last
+// acknowledged chunk instead of requeueing.
+func TestResumeFromLastAckedChunk(t *testing.T) {
+	sever := NewFaultPlan(FaultRule{
+		Link: "parent", Dir: FaultRecv, Kind: FrameChunk,
+		After: 10, Op: FaultSever,
+	})
+	root := startNode(t, Config{
+		Name: "root", Listen: "127.0.0.1:0", Buffers: 3,
+		Compute:        echoCompute(40 * time.Millisecond),
+		ChunkSize:      128,
+		ReconnectGrace: 10 * time.Second, // ample: the child must make it back in time
+	})
+	w := startNode(t, Config{
+		Name: "w", Parent: root.Addr(), Buffers: 3,
+		Compute:       echoCompute(2 * time.Millisecond),
+		ChunkSize:     128,
+		Faults:        sever,
+		ReconnectBase: 10 * time.Millisecond, ReconnectCap: 50 * time.Millisecond, ReconnectAttempts: 10,
+	})
+
+	results, err := root.RunTimeout(makeTasks(30, 4096), 60*time.Second)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(results) != 30 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if sever.Pending() != 0 {
+		t.Fatalf("the scripted sever never fired")
+	}
+	if got := w.Stats().Reconnects; got == 0 {
+		t.Fatalf("worker never reconnected")
+	}
+	// Within the grace window nothing should have been reclaimed; the
+	// interrupted transfer resumed instead.
+	s := root.Stats()
+	if s.Requeued != 0 {
+		t.Logf("note: %d tasks requeued despite the grace window (timing-dependent)", s.Requeued)
+	}
+	if s.Resumed == 0 && s.Requeued == 0 {
+		t.Fatalf("neither resumed nor requeued after a mid-transfer sever: %+v", s)
+	}
+}

@@ -14,22 +14,42 @@
 //   - interruptible — task payloads stream in chunks through a single send
 //     port, and between chunks the port switches to a higher-priority
 //     child's transfer, exactly the shelve-and-resume semantics of
-//     Section 3.2 (disable with Config.NonInterruptible for the non-IC
-//     variant).
+//     Section 3.2 (disable with NonInterruptible for the non-IC variant).
 //
 // Results return hop by hop to the root, which is the source and sink of
 // all application data. Every scheduling decision uses only locally
 // observable state, so subtrees can be added under any node while an
 // application runs.
 //
+// # Fault tolerance
+//
+// The runtime survives churn, the regime volunteer platforms live in:
+//
+//   - Every link is supervised by heartbeats (WithHeartbeat) and
+//     per-message write deadlines (WithWriteTimeout); a silent or stalled
+//     link is severed rather than hanging the run.
+//   - When a child's link dies, its parent keeps the session revivable
+//     for a grace window (WithReconnectGrace) and then reclaims every
+//     task delivered into the dead subtree without a returned result,
+//     requeueing them for re-dispatch — the engine's DepartMutation
+//     semantics. Tasks execute at least once; the root deduplicates, so
+//     results are delivered exactly once.
+//   - A disconnected non-root node re-dials its parent with capped
+//     exponential backoff (WithReconnect), resuming an interrupted
+//     transfer from the last acknowledged chunk and replaying results it
+//     computed while partitioned.
+//   - A deterministic fault-injection harness (FaultPlan, WithFaultPlan)
+//     drops, delays, or severs a named link at a scripted frame, so all
+//     of the above is testable in-process.
+//
 // The package is runnable both in-process (tests, examples) and as
 // separate OS processes via cmd/bwnode.
 package live
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sort"
 	"sync"
@@ -53,7 +73,9 @@ type Result struct {
 // "port" (one task at a time, as in the paper's base model).
 type ComputeFunc func(Task) ([]byte, error)
 
-// Config describes one node of the overlay.
+// Config describes one node of the overlay. Prefer the Start constructor
+// with Options; StartConfig accepts a literal Config for callers built
+// against the positional API.
 type Config struct {
 	// Name identifies the node in results and statistics.
 	Name string
@@ -78,6 +100,37 @@ type Config struct {
 	// link bandwidth in tests and demos (the measured priorities then
 	// reflect it, exactly as they would reflect real bandwidth).
 	LinkDelay func(childName string) time.Duration
+
+	// HeartbeatInterval is the per-link supervision period: each link
+	// sends a heartbeat every interval and counts silent intervals
+	// inbound. 0 means the 1s default; negative disables supervision.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many consecutive silent intervals sever a
+	// link; default 3.
+	HeartbeatMisses int
+	// WriteTimeout bounds each outbound frame; 0 means the 10s default,
+	// negative disables the deadline.
+	WriteTimeout time.Duration
+	// ReconnectBase and ReconnectCap shape the capped exponential backoff
+	// of parent re-dials: attempt k sleeps min(base<<(k-1), cap).
+	// Defaults 100ms and 2s.
+	ReconnectBase time.Duration
+	ReconnectCap  time.Duration
+	// ReconnectAttempts is how many re-dials a disconnected node makes
+	// before declaring the parent lost; 0 means the default 5, negative
+	// disables reconnection entirely.
+	ReconnectAttempts int
+	// ReconnectGrace is how long a parent keeps a dead child's session
+	// revivable before reclaiming its tasks; 0 means the default 5s,
+	// negative reclaims immediately.
+	ReconnectGrace time.Duration
+	// Faults, when non-nil, is a deterministic fault-injection script
+	// consulted on every frame this node sends or receives.
+	Faults *FaultPlan
+
+	// sleep is the backoff clock, replaceable by tests; nil means real
+	// time.Sleep interruptible by node shutdown.
+	sleep func(d time.Duration, done <-chan struct{}) bool
 }
 
 // Stats is a snapshot of a node's counters.
@@ -89,28 +142,39 @@ type Stats struct {
 	Interrupts int64            // send-port switches away from an unfinished transfer
 	MaxQueued  int              // most tasks simultaneously buffered
 	ByChild    map[string]int64 // tasks forwarded per child
+
+	// Recovery counters.
+	Reconnects      int64 // successful re-dials of a lost parent link
+	Requeued        int64 // tasks reclaimed from dead subtrees and requeued
+	Resumed         int64 // transfers resumed mid-payload after a child reconnected
+	HeartbeatMisses int64 // supervision intervals that passed with a silent link
 }
 
 // Node is a running overlay node.
 type Node struct {
 	cfg      Config
+	root     bool
 	listener net.Listener
-	parent   *conn
 
-	mu       sync.Mutex
-	children []*childSession
-	buffer   []Task
-	results  chan Result // root only: collected results
-	inflight map[uint64]*inTransfer
-	stats    Stats
-	status   *statusServer
-	closed   bool
-	err      error
+	mu             sync.Mutex
+	parent         *conn // current uplink; nil while disconnected (or root)
+	reqDeficit     int   // requests owed to the parent, accrued while disconnected
+	pendingResults []Result
+	children       []*childSession
+	buffer         []Task
+	results        chan Result // root only: collected results
+	inflight       map[uint64]*inTransfer
+	stats          Stats
+	status         *statusServer
+	closed         bool
+	err            error
 
-	kick chan struct{} // wakes the send port
-	comp chan struct{} // wakes the compute loop
-	done chan struct{} // closed by Close
-	wg   sync.WaitGroup
+	kick     chan struct{} // wakes the send port
+	comp     chan struct{} // wakes the compute loop
+	done     chan struct{} // closed by Close
+	failed   chan struct{} // closed on the first fatal error
+	failOnce sync.Once
+	wg       sync.WaitGroup
 }
 
 // childSession is the parent-side state for one connected child.
@@ -121,6 +185,8 @@ type childSession struct {
 	link    ewma // measured per-chunk communication time
 	active  *outTransfer
 	gone    bool
+	left    bool      // announced a deliberate departure: reclaim without grace
+	goneAt  time.Time // when the link died, for the reconnect grace window
 	// outstanding holds every task fully delivered into this child's
 	// subtree whose result has not yet come back through this node. If
 	// the child dies, these are requeued and re-executed (at-least-once
@@ -130,13 +196,43 @@ type childSession struct {
 
 // outTransfer is an in-progress (possibly preempted-and-resumed) send.
 type outTransfer struct {
-	task   Task
-	offset int
+	task    Task
+	offset  int  // next byte to send
+	acked   int  // bytes the child confirmed receiving
+	sentAll bool // every byte written; awaiting the final ack
 }
 
-// Start launches a node. Leaves connect to their parent immediately; the
-// root becomes ready to Run once started.
-func Start(cfg Config) (*Node, error) {
+// handshakeTimeout bounds the hello / hello-ack exchange.
+const handshakeTimeout = 5 * time.Second
+
+// ErrTimeout reports a Run whose context deadline expired with results
+// still missing; match with errors.Is. The concrete *TimeoutError
+// carries the partial counts.
+var ErrTimeout = errors.New("live: run timed out")
+
+// TimeoutError is the error Run returns alongside its partial results
+// when the context deadline expires.
+type TimeoutError struct {
+	Received int // results collected before the deadline
+	Expected int // tasks dispatched
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("live: timeout with %d of %d results", e.Received, e.Expected)
+}
+
+// Unwrap makes errors.Is report both ErrTimeout and
+// context.DeadlineExceeded.
+func (e *TimeoutError) Unwrap() []error {
+	return []error{ErrTimeout, context.DeadlineExceeded}
+}
+
+// StartConfig launches a node from a literal Config. Leaves connect to
+// their parent immediately; the root becomes ready to Run once started.
+//
+// Deprecated: use Start, which names the node and takes functional
+// Options with documented defaults.
+func StartConfig(cfg Config) (*Node, error) {
 	if cfg.Name == "" {
 		return nil, errors.New("live: node needs a name")
 	}
@@ -149,12 +245,51 @@ func Start(cfg Config) (*Node, error) {
 	if cfg.ChunkSize <= 0 {
 		cfg.ChunkSize = 4096
 	}
+	switch {
+	case cfg.HeartbeatInterval == 0:
+		cfg.HeartbeatInterval = time.Second
+	case cfg.HeartbeatInterval < 0:
+		cfg.HeartbeatInterval = 0 // disabled
+	}
+	if cfg.HeartbeatMisses <= 0 {
+		cfg.HeartbeatMisses = 3
+	}
+	switch {
+	case cfg.WriteTimeout == 0:
+		cfg.WriteTimeout = 10 * time.Second
+	case cfg.WriteTimeout < 0:
+		cfg.WriteTimeout = 0 // disabled
+	}
+	if cfg.ReconnectBase <= 0 {
+		cfg.ReconnectBase = 100 * time.Millisecond
+	}
+	if cfg.ReconnectCap <= 0 {
+		cfg.ReconnectCap = 2 * time.Second
+	}
+	switch {
+	case cfg.ReconnectAttempts == 0:
+		cfg.ReconnectAttempts = 5
+	case cfg.ReconnectAttempts < 0:
+		cfg.ReconnectAttempts = 0 // disabled
+	}
+	switch {
+	case cfg.ReconnectGrace == 0:
+		cfg.ReconnectGrace = 5 * time.Second
+	case cfg.ReconnectGrace < 0:
+		cfg.ReconnectGrace = 0 // reclaim immediately
+	}
+	if cfg.sleep == nil {
+		cfg.sleep = realSleep
+	}
+
 	n := &Node{
 		cfg:      cfg,
+		root:     cfg.Parent == "",
 		inflight: make(map[uint64]*inTransfer),
 		kick:     make(chan struct{}, 1),
 		comp:     make(chan struct{}, 1),
 		done:     make(chan struct{}),
+		failed:   make(chan struct{}),
 	}
 	n.stats.ByChild = make(map[string]int64)
 
@@ -167,35 +302,51 @@ func Start(cfg Config) (*Node, error) {
 		n.wg.Add(1)
 		go n.acceptLoop()
 	}
-	if cfg.Parent != "" {
-		raw, err := net.Dial("tcp", cfg.Parent)
-		if err != nil {
-			n.Close()
-			return nil, fmt.Errorf("live: dial parent: %w", err)
-		}
-		n.parent = newConn(raw)
-		if err := n.parent.send(&message{Kind: kindHello, Name: cfg.Name}); err != nil {
-			n.Close()
-			return nil, fmt.Errorf("live: hello: %w", err)
-		}
-		// The paper's startup: one request per empty buffer.
-		if err := n.parent.send(&message{Kind: kindRequest, N: cfg.Buffers}); err != nil {
-			n.Close()
-			return nil, fmt.Errorf("live: initial request: %w", err)
-		}
-		n.mu.Lock()
-		n.stats.Requests += int64(cfg.Buffers)
-		n.mu.Unlock()
-		n.wg.Add(1)
-		go n.parentLoop()
-	} else {
+	if n.root {
 		n.results = make(chan Result, 1024)
+	} else {
+		if err := n.connectParent(); err != nil {
+			n.Close()
+			return nil, err
+		}
+		n.wg.Add(1)
+		go n.parentSupervisor()
 	}
 
 	n.wg.Add(2)
 	go n.computeLoop()
 	go n.sendPort()
 	return n, nil
+}
+
+// realSleep pauses for d, abandoning the wait when done closes. The
+// reconnect backoff goes through Config.sleep so tests can substitute a
+// fake clock.
+func realSleep(d time.Duration, done <-chan struct{}) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// backoffDelay is the capped exponential reconnect schedule: attempt k
+// (1-based) sleeps min(base<<(k-1), cap).
+func backoffDelay(attempt int, base, cap time.Duration) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
 }
 
 // Addr returns the node's listen address (useful with "127.0.0.1:0").
@@ -213,6 +364,20 @@ func (n *Node) Err() error {
 	return n.err
 }
 
+// Failed returns a channel closed when the node hits a fatal error — a
+// parent link lost with every reconnect attempt exhausted, a compute
+// failure (see Err). A worker process should watch it to exit once its
+// overlay is gone instead of serving a dead tree.
+func (n *Node) Failed() <-chan struct{} {
+	return n.failed
+}
+
+// Done returns a channel closed when the node has shut down — by Close,
+// or by a shutdown ordered from upstream when the application finished.
+func (n *Node) Done() <-chan struct{} {
+	return n.done
+}
+
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats {
 	n.mu.Lock()
@@ -225,7 +390,9 @@ func (n *Node) Stats() Stats {
 	return s
 }
 
-// Close shuts the node down: children are told to wind down and all
+// Close shuts the node down: children are told to wind down, the parent
+// is told this subtree is leaving for good (so it reclaims and requeues
+// immediately instead of waiting out the reconnect grace), and all
 // connections close. Closing the root before Run returns aborts the run.
 func (n *Node) Close() error {
 	n.mu.Lock()
@@ -235,6 +402,7 @@ func (n *Node) Close() error {
 	}
 	n.closed = true
 	children := append([]*childSession(nil), n.children...)
+	parent := n.parent
 	status := n.status
 	n.status = nil
 	n.mu.Unlock()
@@ -247,8 +415,9 @@ func (n *Node) Close() error {
 		_ = ch.c.send(&message{Kind: kindShutdown})
 		_ = ch.c.close()
 	}
-	if n.parent != nil {
-		_ = n.parent.close()
+	if parent != nil {
+		_ = parent.send(&message{Kind: kindGoodbye})
+		_ = parent.close()
 	}
 	if n.listener != nil {
 		_ = n.listener.Close()
@@ -260,10 +429,19 @@ func (n *Node) Close() error {
 }
 
 // Run dispatches the given tasks from the root and blocks until every
-// result has been collected or the timeout expires. Only the root (a node
-// with no parent) may call Run.
-func (n *Node) Run(tasks []Task, timeout time.Duration) ([]Result, error) {
-	if n.parent != nil {
+// result has been collected or ctx ends. Only the root (a node with no
+// parent) may call Run.
+//
+// On a context deadline, Run returns the partial results alongside a
+// *TimeoutError (errors.Is(err, ErrTimeout)); on cancellation it returns
+// the partial results and the context's error. Re-executed tasks from
+// recovered failures are deduplicated by ID: each result is delivered
+// exactly once.
+func (n *Node) Run(ctx context.Context, tasks []Task) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !n.root {
 		return nil, errors.New("live: Run called on a non-root node")
 	}
 	seen := make(map[uint64]bool, len(tasks))
@@ -283,8 +461,6 @@ func (n *Node) Run(tasks []Task, timeout time.Duration) ([]Result, error) {
 	n.wake(n.kick)
 	n.wake(n.comp)
 
-	deadline := time.NewTimer(timeout)
-	defer deadline.Stop()
 	out := make([]Result, 0, len(tasks))
 	for len(out) < len(tasks) {
 		select {
@@ -298,8 +474,11 @@ func (n *Node) Run(tasks []Task, timeout time.Duration) ([]Result, error) {
 			}
 			seen[r.ID] = false
 			out = append(out, r)
-		case <-deadline.C:
-			return out, fmt.Errorf("live: timeout with %d of %d results", len(out), len(tasks))
+		case <-ctx.Done():
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				return out, &TimeoutError{Received: len(out), Expected: len(tasks)}
+			}
+			return out, fmt.Errorf("live: run canceled: %w", ctx.Err())
 		case <-n.done:
 			return out, errors.New("live: node closed during run")
 		}
@@ -309,6 +488,15 @@ func (n *Node) Run(tasks []Task, timeout time.Duration) ([]Result, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil
+}
+
+// RunTimeout dispatches tasks with the deadline expressed as a duration.
+//
+// Deprecated: use Run with a context carrying the deadline.
+func (n *Node) RunTimeout(tasks []Task, timeout time.Duration) ([]Result, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return n.Run(ctx, tasks)
 }
 
 // wake delivers a non-blocking signal.
@@ -321,11 +509,15 @@ func (n *Node) wake(ch chan struct{}) {
 
 // fail records the first fatal error and shuts down wakeups.
 func (n *Node) fail(err error) {
+	if err == nil {
+		return
+	}
 	n.mu.Lock()
-	if n.err == nil && err != nil {
+	if n.err == nil {
 		n.err = err
 	}
 	n.mu.Unlock()
+	n.failOnce.Do(func() { close(n.failed) })
 	n.wake(n.kick)
 	n.wake(n.comp)
 }
@@ -340,6 +532,61 @@ func (n *Node) isClosed() bool {
 	}
 }
 
+// goTracked runs fn on a goroutine counted by the node's WaitGroup,
+// unless shutdown has already begun (Close flips closed under the same
+// lock before waiting, so the Add cannot race the Wait).
+func (n *Node) goTracked(fn func()) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.wg.Add(1)
+	n.mu.Unlock()
+	go func() {
+		defer n.wg.Done()
+		fn()
+	}()
+}
+
+// superviseConn watches one link: it sends a heartbeat every interval
+// and, after HeartbeatMisses consecutive intervals with no inbound
+// frame, severs the connection so the owning read loop fails fast into
+// the recovery path (requeue at a parent, reconnect at a child).
+func (n *Node) superviseConn(c *conn) {
+	interval := n.cfg.HeartbeatInterval
+	if interval <= 0 {
+		return
+	}
+	n.goTracked(func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		misses := 0
+		for {
+			select {
+			case <-t.C:
+				_ = c.send(&message{Kind: kindHeartbeat})
+				if c.sinceRecv() > interval {
+					misses++
+					n.mu.Lock()
+					n.stats.HeartbeatMisses++
+					n.mu.Unlock()
+					if misses >= n.cfg.HeartbeatMisses {
+						_ = c.close()
+						return
+					}
+				} else {
+					misses = 0
+				}
+			case <-c.stop:
+				return
+			case <-n.done:
+				return
+			}
+		}
+	})
+}
+
 // acceptLoop admits children.
 func (n *Node) acceptLoop() {
 	defer n.wg.Done()
@@ -348,37 +595,101 @@ func (n *Node) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		c := newConn(raw)
-		hello, err := c.recv()
+		c := newConn(raw, "", n.cfg.Faults, n.cfg.WriteTimeout)
+		hello, err := c.recvTimeout(handshakeTimeout)
 		if err != nil || hello.Kind != kindHello {
 			_ = c.close()
 			continue
 		}
-		sess := &childSession{name: hello.Name, c: c, outstanding: make(map[uint64]Task)}
-		n.mu.Lock()
-		n.children = append(n.children, sess)
-		n.mu.Unlock()
-		n.wg.Add(1)
-		go n.childLoop(sess)
+		c.peer = hello.Name
+		n.admitChild(c, hello)
 	}
 }
 
-// childLoop reads one child's requests and relayed results.
-func (n *Node) childLoop(s *childSession) {
-	defer n.wg.Done()
+// admitChild installs a connection as a fresh child session — or, when
+// the hello names a session whose link died within the reconnect grace
+// window, revives that session: its request ledger and outstanding tasks
+// survive, and an interrupted transfer resumes from the chunk offset the
+// child reports holding.
+func (n *Node) admitChild(c *conn, hello *message) {
+	offered := make(map[uint64]int, len(hello.Resume))
+	for _, rp := range hello.Resume {
+		offered[rp.Task] = rp.Offset
+	}
+	ack := &message{Kind: kindHelloAck}
+
+	n.mu.Lock()
+	var sess *childSession
+	var oldConn *conn
+	for _, s := range n.children {
+		if s.name == hello.Name && s.gone && !s.left {
+			sess = s
+			break
+		}
+	}
+	if sess != nil {
+		oldConn = sess.c
+		sess.c = c
+		sess.gone = false
+		sess.goneAt = time.Time{}
+		ack.Revived = true
+		if tr := sess.active; tr != nil {
+			off, ok := offered[tr.task.ID]
+			if ok && off >= 0 && off <= len(tr.task.Payload) {
+				// Resume mid-payload from what the child confirmed.
+				tr.offset = off
+				tr.acked = off
+				tr.sentAll = false
+				ack.Accepted = append(ack.Accepted, tr.task.ID)
+				n.stats.Resumed++
+			} else {
+				// No partial state offered: retransmit from the top. A
+				// fully written transfer whose final ack never arrived
+				// looks exactly like one whose final chunk was lost in the
+				// disconnect — the child offers nothing either way — so
+				// re-delivery is the only safe choice; if the child did
+				// receive everything, the duplicate execution is absorbed
+				// by the root's dedup. At-least-once, never zero.
+				tr.offset = 0
+				tr.acked = 0
+				tr.sentAll = false
+			}
+		}
+	} else {
+		sess = &childSession{name: hello.Name, c: c, outstanding: make(map[uint64]Task)}
+		n.children = append(n.children, sess)
+	}
+	n.mu.Unlock()
+	if oldConn != nil {
+		_ = oldConn.close()
+	}
+
+	if err := c.send(ack); err != nil {
+		_ = c.close()
+		n.markChildGone(sess, c)
+		return
+	}
+	n.goTracked(func() { n.childLoop(sess, c) })
+	n.superviseConn(c)
+	n.wake(n.kick)
+}
+
+// childLoop reads one child's requests, acks, and relayed results. It is
+// bound to the connection it was started with: once the session is
+// revived on a newer connection, a stale loop may no longer mutate it.
+func (n *Node) childLoop(s *childSession, c *conn) {
 	for {
-		m, err := s.c.recv()
+		m, err := c.recv()
 		if err != nil {
-			n.mu.Lock()
-			s.gone = true
-			n.mu.Unlock()
-			n.wake(n.kick)
+			n.markChildGone(s, c)
 			return
 		}
 		switch m.Kind {
 		case kindRequest:
 			n.mu.Lock()
-			s.pending += m.N
+			if s.c == c {
+				s.pending += m.N
+			}
 			n.mu.Unlock()
 			n.wake(n.kick)
 		case kindResult:
@@ -386,20 +697,203 @@ func (n *Node) childLoop(s *childSession) {
 			delete(s.outstanding, m.Task)
 			n.mu.Unlock()
 			n.deliverResult(Result{ID: m.Task, Output: m.Output, Origin: m.Origin})
+		case kindChunkAck:
+			n.mu.Lock()
+			if s.c == c && s.active != nil && s.active.task.ID == m.Task {
+				s.active.acked = m.Offset
+				if m.Last {
+					// Delivery confirmed end to end: the task is the
+					// child's responsibility until its result returns.
+					s.outstanding[m.Task] = s.active.task
+					s.active = nil
+					n.wakeLocked()
+				}
+			}
+			n.mu.Unlock()
+		case kindGoodbye:
+			n.mu.Lock()
+			if s.c == c {
+				s.gone = true
+				s.left = true
+			}
+			n.mu.Unlock()
+			n.wake(n.kick)
+		case kindHeartbeat:
+			// Receipt alone refreshed the link's proof-of-life clock.
 		}
 	}
 }
 
-// parentLoop reads tasks arriving from the parent.
-func (n *Node) parentLoop() {
+// markChildGone flags a child's link dead — unless the session has
+// already been revived on a newer connection — and schedules the reclaim
+// wakeup for when the reconnect grace window expires.
+func (n *Node) markChildGone(s *childSession, c *conn) {
+	n.mu.Lock()
+	if s.c != c || s.gone {
+		n.mu.Unlock()
+		return
+	}
+	s.gone = true
+	s.goneAt = time.Now()
+	grace := n.cfg.ReconnectGrace
+	n.mu.Unlock()
+	_ = c.close()
+	if grace > 0 {
+		time.AfterFunc(grace+10*time.Millisecond, func() { n.wake(n.kick) })
+	}
+	n.wake(n.kick)
+}
+
+// connectParent dials the parent, offers to resume partially received
+// transfers, re-syncs the request ledger from the hello-ack, replays
+// results computed while disconnected, and installs the new link.
+func (n *Node) connectParent() error {
+	raw, err := net.Dial("tcp", n.cfg.Parent)
+	if err != nil {
+		return fmt.Errorf("live: dial parent: %w", err)
+	}
+	c := newConn(raw, "parent", n.cfg.Faults, n.cfg.WriteTimeout)
+
+	n.mu.Lock()
+	resume := make([]ResumePoint, 0, len(n.inflight))
+	for id, t := range n.inflight {
+		resume = append(resume, ResumePoint{Task: id, Offset: t.got})
+	}
+	n.mu.Unlock()
+	sort.Slice(resume, func(i, j int) bool { return resume[i].Task < resume[j].Task })
+
+	if err := c.send(&message{Kind: kindHello, Name: n.cfg.Name, Resume: resume}); err != nil {
+		_ = c.close()
+		return fmt.Errorf("live: hello: %w", err)
+	}
+	ack, err := c.recvTimeout(handshakeTimeout)
+	if err != nil {
+		_ = c.close()
+		return fmt.Errorf("live: hello ack: %w", err)
+	}
+	if ack.Kind != kindHelloAck {
+		_ = c.close()
+		return fmt.Errorf("live: expected hello ack, got frame kind %d", ack.Kind)
+	}
+	accepted := make(map[uint64]bool, len(ack.Accepted))
+	for _, id := range ack.Accepted {
+		accepted[id] = true
+	}
+
+	n.mu.Lock()
+	// Partial transfers the parent will not resume were reclaimed on its
+	// side; drop their assembly state so a fresh stream starts clean.
+	for id := range n.inflight {
+		if !accepted[id] {
+			delete(n.inflight, id)
+		}
+	}
+	var reqN int
+	if ack.Revived {
+		// The parent kept the session's request ledger; only requests
+		// that failed to send while disconnected are owed.
+		reqN = n.reqDeficit
+	} else {
+		// Fresh session: one request per free buffer slot, exactly the
+		// paper's startup rule. Slots filled by buffered tasks or by
+		// transfers the parent agreed to resume are spoken for.
+		reqN = n.cfg.Buffers - len(n.buffer) - len(ack.Accepted)
+	}
+	if reqN < 0 {
+		reqN = 0
+	}
+	n.reqDeficit = 0
+	flush := n.pendingResults
+	n.pendingResults = nil
+	if reqN > 0 {
+		n.stats.Requests += int64(reqN)
+	}
+	n.parent = c
+	n.mu.Unlock()
+
+	if reqN > 0 {
+		if err := c.send(&message{Kind: kindRequest, N: reqN}); err != nil {
+			// The link died instantly; the supervisor will notice and
+			// retry, and the requests are owed again.
+			n.mu.Lock()
+			n.reqDeficit += reqN
+			n.stats.Requests -= int64(reqN)
+			n.mu.Unlock()
+		}
+	}
+	// Results computed while partitioned flow now; exactly-once delivery
+	// comes from the root's dedup, not from suppression here.
+	for i, r := range flush {
+		if err := c.send(&message{Kind: kindResult, Task: r.ID, Output: r.Output, Origin: r.Origin}); err != nil {
+			n.mu.Lock()
+			n.pendingResults = append(n.pendingResults, flush[i:]...)
+			n.mu.Unlock()
+			break
+		}
+	}
+	n.superviseConn(c)
+	return nil
+}
+
+// parentSupervisor owns the uplink: it runs the read loop and, when the
+// link dies without a shutdown, re-dials with capped exponential backoff.
+// Only exhausting every attempt makes the loss fatal.
+func (n *Node) parentSupervisor() {
 	defer n.wg.Done()
 	for {
-		m, err := n.parent.recv()
-		if err != nil {
-			if !n.isClosed() && !errors.Is(err, io.EOF) {
-				n.fail(fmt.Errorf("live: parent link: %w", err))
+		n.mu.Lock()
+		c := n.parent
+		n.mu.Unlock()
+		if c == nil {
+			return
+		}
+		shutdown := n.readParent(c)
+		_ = c.close()
+		if shutdown {
+			// Close waits on this goroutine's WaitGroup entry, so it
+			// must run detached.
+			go n.Close()
+			return
+		}
+		if n.isClosed() {
+			return
+		}
+		n.mu.Lock()
+		n.parent = nil // queue outbound work until the link is back
+		n.mu.Unlock()
+		if !n.reconnect() {
+			if !n.isClosed() {
+				n.fail(fmt.Errorf("live: parent link lost; reconnect failed after %d attempts", n.cfg.ReconnectAttempts))
 			}
 			return
+		}
+	}
+}
+
+// reconnect re-dials the parent under the backoff schedule; it reports
+// whether a new link was established.
+func (n *Node) reconnect() bool {
+	for attempt := 1; attempt <= n.cfg.ReconnectAttempts; attempt++ {
+		if !n.cfg.sleep(backoffDelay(attempt, n.cfg.ReconnectBase, n.cfg.ReconnectCap), n.done) {
+			return false // node closed mid-wait
+		}
+		if err := n.connectParent(); err == nil {
+			n.mu.Lock()
+			n.stats.Reconnects++
+			n.mu.Unlock()
+			return true
+		}
+	}
+	return false
+}
+
+// readParent consumes frames from the current uplink until it fails or
+// orders a shutdown; the supervisor decides what happens next.
+func (n *Node) readParent(c *conn) (shutdown bool) {
+	for {
+		m, err := c.recv()
+		if err != nil {
+			return false
 		}
 		switch m.Kind {
 		case kindChunk:
@@ -410,8 +904,12 @@ func (n *Node) parentLoop() {
 			complete, err := t.feed(m)
 			if err != nil {
 				n.fail(err)
-				return
+				return false
 			}
+			// Ack every chunk: after a disconnect the parent resumes
+			// from this offset, and on the final ack responsibility for
+			// the task transfers to this subtree.
+			_ = c.send(&message{Kind: kindChunkAck, Task: m.Task, Offset: t.got, Last: complete})
 			if complete {
 				n.mu.Lock()
 				delete(n.inflight, m.Task)
@@ -425,8 +923,10 @@ func (n *Node) parentLoop() {
 				n.wake(n.kick)
 			}
 		case kindShutdown:
-			n.Close()
-			return
+			return true
+		case kindHeartbeat, kindHelloAck:
+			// Heartbeats only refresh the proof-of-life clock; a stray
+			// hello-ack after the handshake is ignored.
 		}
 	}
 }
@@ -446,17 +946,47 @@ func (n *Node) inflightFor(id uint64) (*inTransfer, bool) {
 }
 
 // deliverResult hands a result to the local collector (root) or relays it
-// to the parent.
+// to the parent; while the uplink is down results queue and replay after
+// the reconnect handshake.
 func (n *Node) deliverResult(r Result) {
-	if n.parent == nil {
+	if n.root {
 		select {
 		case n.results <- r:
 		case <-n.done:
 		}
 		return
 	}
-	if err := n.parent.send(&message{Kind: kindResult, Task: r.ID, Output: r.Output, Origin: r.Origin}); err != nil && !n.isClosed() {
-		n.fail(fmt.Errorf("live: relay result: %w", err))
+	n.mu.Lock()
+	c := n.parent
+	if c == nil {
+		n.pendingResults = append(n.pendingResults, r)
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	if err := c.send(&message{Kind: kindResult, Task: r.ID, Output: r.Output, Origin: r.Origin}); err != nil && !n.isClosed() {
+		n.mu.Lock()
+		n.pendingResults = append(n.pendingResults, r)
+		n.mu.Unlock()
+	}
+}
+
+// requestMore sends task requests upstream; while the parent link is down
+// they are owed and re-sent after the reconnect handshake. Callers
+// account Stats.Requests themselves.
+func (n *Node) requestMore(k int) {
+	n.mu.Lock()
+	c := n.parent
+	if c == nil {
+		n.reqDeficit += k
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	if err := c.send(&message{Kind: kindRequest, N: k}); err != nil && !n.isClosed() {
+		n.mu.Lock()
+		n.reqDeficit += k
+		n.mu.Unlock()
 	}
 }
 
@@ -469,15 +999,12 @@ func (n *Node) takeTask() (Task, bool) {
 	}
 	t := n.buffer[0]
 	n.buffer = n.buffer[1:]
-	hasParent := n.parent != nil
-	if hasParent {
+	if !n.root {
 		n.stats.Requests++
 	}
 	n.mu.Unlock()
-	if hasParent {
-		if err := n.parent.send(&message{Kind: kindRequest, N: 1}); err != nil && !n.isClosed() {
-			n.fail(fmt.Errorf("live: request: %w", err))
-		}
+	if !n.root {
+		n.requestMore(1)
 	}
 	return t, true
 }

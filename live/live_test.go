@@ -36,7 +36,7 @@ func makeTasks(n, size int) []Task {
 
 func startNode(t *testing.T, cfg Config) *Node {
 	t.Helper()
-	n, err := Start(cfg)
+	n, err := StartConfig(cfg)
 	if err != nil {
 		t.Fatalf("Start(%s): %v", cfg.Name, err)
 	}
@@ -45,16 +45,16 @@ func startNode(t *testing.T, cfg Config) *Node {
 }
 
 func TestConfigValidation(t *testing.T) {
-	if _, err := Start(Config{Compute: echoCompute(0), Buffers: 1}); err == nil {
+	if _, err := StartConfig(Config{Compute: echoCompute(0), Buffers: 1}); err == nil {
 		t.Fatalf("nameless node accepted")
 	}
-	if _, err := Start(Config{Name: "x", Buffers: 1}); err == nil {
+	if _, err := StartConfig(Config{Name: "x", Buffers: 1}); err == nil {
 		t.Fatalf("compute-less node accepted")
 	}
-	if _, err := Start(Config{Name: "x", Compute: echoCompute(0), Buffers: 0}); err == nil {
+	if _, err := StartConfig(Config{Name: "x", Compute: echoCompute(0), Buffers: 0}); err == nil {
 		t.Fatalf("zero buffers accepted")
 	}
-	if _, err := Start(Config{Name: "x", Compute: echoCompute(0), Buffers: 1, Parent: "127.0.0.1:1"}); err == nil {
+	if _, err := StartConfig(Config{Name: "x", Compute: echoCompute(0), Buffers: 1, Parent: "127.0.0.1:1"}); err == nil {
 		t.Fatalf("unreachable parent accepted")
 	}
 }
@@ -62,7 +62,7 @@ func TestConfigValidation(t *testing.T) {
 func TestRootAloneComputesEverything(t *testing.T) {
 	root := startNode(t, Config{Name: "root", Buffers: 3, Compute: echoCompute(0)})
 	tasks := makeTasks(25, 64)
-	results, err := root.Run(tasks, 10*time.Second)
+	results, err := root.RunTimeout(tasks, 10*time.Second)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -88,11 +88,11 @@ func TestRootAloneComputesEverything(t *testing.T) {
 func TestRunRejectsNonRootAndDuplicates(t *testing.T) {
 	root := startNode(t, Config{Name: "root", Listen: "127.0.0.1:0", Buffers: 2, Compute: echoCompute(0)})
 	child := startNode(t, Config{Name: "c", Parent: root.Addr(), Buffers: 2, Compute: echoCompute(0)})
-	if _, err := child.Run(makeTasks(1, 8), time.Second); err == nil {
+	if _, err := child.RunTimeout(makeTasks(1, 8), time.Second); err == nil {
 		t.Fatalf("Run on child accepted")
 	}
 	dup := []Task{{ID: 7}, {ID: 7}}
-	if _, err := root.Run(dup, time.Second); err == nil {
+	if _, err := root.RunTimeout(dup, time.Second); err == nil {
 		t.Fatalf("duplicate ids accepted")
 	}
 }
@@ -105,7 +105,7 @@ func TestTwoWorkersShareTheLoad(t *testing.T) {
 	b := startNode(t, Config{Name: "b", Parent: root.Addr(), Buffers: 3, Compute: echoCompute(2 * time.Millisecond)})
 
 	tasks := makeTasks(60, 256)
-	results, err := root.Run(tasks, 30*time.Second)
+	results, err := root.RunTimeout(tasks, 30*time.Second)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -147,7 +147,7 @@ func TestBandwidthCentricPriorityOnMeasuredLinks(t *testing.T) {
 	slow := startNode(t, Config{Name: "slow", Parent: root.Addr(), Buffers: 3, Compute: echoCompute(time.Millisecond)})
 
 	tasks := makeTasks(40, 128)
-	if _, err := root.Run(tasks, 30*time.Second); err != nil {
+	if _, err := root.RunTimeout(tasks, 30*time.Second); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	sf, ss := fast.Stats().Computed, slow.Stats().Computed
@@ -166,7 +166,7 @@ func TestInterruptibleSendsPreempt(t *testing.T) {
 			}
 			return 100 * time.Microsecond
 		}
-		root, err := Start(Config{
+		root, err := StartConfig(Config{
 			Name: "root", Listen: "127.0.0.1:0", Buffers: 3,
 			Compute:          echoCompute(time.Second),
 			LinkDelay:        delay,
@@ -177,17 +177,17 @@ func TestInterruptibleSendsPreempt(t *testing.T) {
 			return Stats{}, err
 		}
 		defer root.Close()
-		fast, err := Start(Config{Name: "fast", Parent: root.Addr(), Buffers: 2, Compute: echoCompute(time.Millisecond)})
+		fast, err := StartConfig(Config{Name: "fast", Parent: root.Addr(), Buffers: 2, Compute: echoCompute(time.Millisecond)})
 		if err != nil {
 			return Stats{}, err
 		}
 		defer fast.Close()
-		slow, err := Start(Config{Name: "slow", Parent: root.Addr(), Buffers: 2, Compute: echoCompute(time.Millisecond)})
+		slow, err := StartConfig(Config{Name: "slow", Parent: root.Addr(), Buffers: 2, Compute: echoCompute(time.Millisecond)})
 		if err != nil {
 			return Stats{}, err
 		}
 		defer slow.Close()
-		if _, err := root.Run(makeTasks(24, 8192), 60*time.Second); err != nil {
+		if _, err := root.RunTimeout(makeTasks(24, 8192), 60*time.Second); err != nil {
 			return Stats{}, err
 		}
 		return root.Stats(), nil
@@ -213,7 +213,7 @@ func TestThreeLevelTree(t *testing.T) {
 	mid := startNode(t, Config{Name: "mid", Parent: root.Addr(), Listen: "127.0.0.1:0", Buffers: 3, Compute: echoCompute(20 * time.Millisecond)})
 	leaf := startNode(t, Config{Name: "leaf", Parent: mid.Addr(), Buffers: 3, Compute: echoCompute(2 * time.Millisecond)})
 
-	results, err := root.Run(makeTasks(40, 128), 30*time.Second)
+	results, err := root.RunTimeout(makeTasks(40, 128), 30*time.Second)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -244,7 +244,7 @@ func TestWorkerJoinsMidRun(t *testing.T) {
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		rs, err := root.Run(makeTasks(80, 64), 60*time.Second)
+		rs, err := root.RunTimeout(makeTasks(80, 64), 60*time.Second)
 		done <- outcome{rs, err}
 	}()
 	time.Sleep(100 * time.Millisecond)
@@ -270,7 +270,7 @@ func TestWorkerDeathRequeuesTasks(t *testing.T) {
 		time.Sleep(150 * time.Millisecond)
 		doomed.Close()
 	}()
-	results, err := root.Run(makeTasks(50, 64), 60*time.Second)
+	results, err := root.RunTimeout(makeTasks(50, 64), 60*time.Second)
 	if err != nil {
 		t.Fatalf("Run after worker death: %v", err)
 	}
@@ -287,7 +287,7 @@ func TestComputeErrorSurfaces(t *testing.T) {
 		return nil, nil
 	}
 	root := startNode(t, Config{Name: "root", Buffers: 2, Compute: boom})
-	_, err := root.Run(makeTasks(10, 8), 5*time.Second)
+	_, err := root.RunTimeout(makeTasks(10, 8), 5*time.Second)
 	if err == nil {
 		t.Fatalf("compute error not surfaced")
 	}
@@ -300,7 +300,7 @@ func TestEmptyPayloadTasks(t *testing.T) {
 	for i := range tasks {
 		tasks[i] = Task{ID: uint64(i + 1)} // zero-length payloads
 	}
-	results, err := root.Run(tasks, 20*time.Second)
+	results, err := root.RunTimeout(tasks, 20*time.Second)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -336,7 +336,7 @@ func TestStatusEndpoint(t *testing.T) {
 	if _, err := root.ServeStatus("127.0.0.1:0"); err == nil {
 		t.Fatalf("duplicate status endpoint accepted")
 	}
-	if _, err := root.Run(makeTasks(20, 64), 20*time.Second); err != nil {
+	if _, err := root.RunTimeout(makeTasks(20, 64), 20*time.Second); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	resp, err := http.Get("http://" + addr + "/status")
@@ -369,7 +369,7 @@ func TestStatusEndpoint(t *testing.T) {
 }
 
 func TestStatusClosedWithNode(t *testing.T) {
-	root, err := Start(Config{Name: "r", Buffers: 1, Compute: echoCompute(0)})
+	root, err := StartConfig(Config{Name: "r", Buffers: 1, Compute: echoCompute(0)})
 	if err != nil {
 		t.Fatalf("Start: %v", err)
 	}

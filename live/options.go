@@ -1,0 +1,121 @@
+package live
+
+import "time"
+
+// Option configures a node started with Start. Each option documents its
+// default; a node started with no options beyond the required WithCompute
+// is a leaf root with the paper's headline parameters.
+type Option func(*Config)
+
+// WithListen sets the address the node accepts children on; default none
+// (the node is a leaf). Use "127.0.0.1:0" to pick a free port (see
+// Node.Addr).
+func WithListen(addr string) Option {
+	return func(c *Config) { c.Listen = addr }
+}
+
+// WithParent sets the parent node's address; default none (the node is
+// the root).
+func WithParent(addr string) Option {
+	return func(c *Config) { c.Parent = addr }
+}
+
+// WithBuffers sets the number of task buffers (the paper's FB); default
+// 3, the paper's headline value.
+func WithBuffers(n int) Option {
+	return func(c *Config) { c.Buffers = n }
+}
+
+// WithCompute sets the function that executes tasks; required.
+func WithCompute(fn ComputeFunc) Option {
+	return func(c *Config) { c.Compute = fn }
+}
+
+// WithChunkSize sets the payload slice streamed per send-port turn;
+// default 4096 bytes.
+func WithChunkSize(bytes int) Option {
+	return func(c *Config) { c.ChunkSize = bytes }
+}
+
+// NonInterruptible disables chunk-level preemption at the send port (the
+// paper's non-IC variant); default interruptible.
+func NonInterruptible() Option {
+	return func(c *Config) { c.NonInterruptible = true }
+}
+
+// WithLinkDelay adds an artificial delay before each chunk sent to the
+// named child — a deterministic stand-in for heterogeneous link bandwidth
+// in tests and demos; default none.
+func WithLinkDelay(fn func(childName string) time.Duration) Option {
+	return func(c *Config) { c.LinkDelay = fn }
+}
+
+// WithHeartbeat sets per-link supervision: each link sends a heartbeat
+// every interval, and a link silent inbound for misses consecutive
+// intervals is declared dead and severed, triggering recovery (requeue at
+// the parent, reconnect at the child). Defaults: interval 1s, misses 3.
+// A negative interval disables heartbeats.
+func WithHeartbeat(interval time.Duration, misses int) Option {
+	return func(c *Config) {
+		c.HeartbeatInterval = interval
+		c.HeartbeatMisses = misses
+	}
+}
+
+// WithWriteTimeout bounds every outbound frame by a per-message write
+// deadline, replacing unbounded blocking on a stalled peer; default 10s.
+// Negative disables the deadline.
+func WithWriteTimeout(d time.Duration) Option {
+	return func(c *Config) { c.WriteTimeout = d }
+}
+
+// WithReconnect configures the capped exponential backoff a disconnected
+// non-root node uses to re-dial its parent: attempt k sleeps
+// min(base<<(k-1), cap). Defaults: base 100ms, cap 2s, attempts 5.
+// attempts < 0 disables reconnection (a lost parent link is fatal, the
+// pre-fault-tolerance behavior).
+func WithReconnect(base, cap time.Duration, attempts int) Option {
+	return func(c *Config) {
+		c.ReconnectBase = base
+		c.ReconnectCap = cap
+		c.ReconnectAttempts = attempts
+	}
+}
+
+// WithReconnectGrace sets how long a parent keeps a dead child's session
+// (its in-flight transfer and un-returned tasks) revivable before
+// reclaiming and requeueing everything for re-dispatch; default 5s.
+// Negative reclaims immediately. A child that reconnects within the
+// grace window resumes its interrupted transfer from the last
+// acknowledged chunk; one that announced a deliberate departure is
+// reclaimed immediately regardless.
+func WithReconnectGrace(d time.Duration) Option {
+	return func(c *Config) { c.ReconnectGrace = d }
+}
+
+// WithFaultPlan installs a deterministic fault-injection script consulted
+// on every frame this node sends or receives; default none. See
+// FaultPlan.
+func WithFaultPlan(p *FaultPlan) Option {
+	return func(c *Config) { c.Faults = p }
+}
+
+// Start launches a node named name. A root only needs a compute function:
+//
+//	root, err := live.Start("root",
+//		live.WithListen("127.0.0.1:0"),
+//		live.WithCompute(fn))
+//
+// Workers join by address — live.Start("w1", live.WithParent(root.Addr()),
+// live.WithCompute(fn)) — and request work autonomously. Defaults are
+// documented on each Option.
+func Start(name string, opts ...Option) (*Node, error) {
+	cfg := Config{Name: name}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.Buffers == 0 {
+		cfg.Buffers = 3
+	}
+	return StartConfig(cfg)
+}

@@ -1,0 +1,258 @@
+package live
+
+// Tests for the fault-tolerance machinery: the reconnect backoff schedule
+// (against a fake clock), heartbeat-miss detection, requeue accounting,
+// and the context-based Run timeout/cancel paths.
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelay(t *testing.T) {
+	const ms = time.Millisecond
+	cases := []struct {
+		attempt   int
+		base, cap time.Duration
+		want      time.Duration
+	}{
+		{1, 100 * ms, 2000 * ms, 100 * ms},
+		{2, 100 * ms, 2000 * ms, 200 * ms},
+		{3, 100 * ms, 2000 * ms, 400 * ms},
+		{4, 100 * ms, 2000 * ms, 800 * ms},
+		{5, 100 * ms, 2000 * ms, 1600 * ms},
+		{6, 100 * ms, 2000 * ms, 2000 * ms}, // capped: 3200 > 2000
+		{7, 100 * ms, 2000 * ms, 2000 * ms}, // stays at the cap
+		{1, 50 * ms, 50 * ms, 50 * ms},      // base == cap
+		{3, 80 * ms, 100 * ms, 100 * ms},    // cap below the next double
+	}
+	for _, c := range cases {
+		if got := backoffDelay(c.attempt, c.base, c.cap); got != c.want {
+			t.Errorf("backoffDelay(%d, %v, %v) = %v, want %v", c.attempt, c.base, c.cap, got, c.want)
+		}
+	}
+}
+
+// fakeParent accepts exactly one child, completes the hello / hello-ack
+// handshake, then slams the connection and the listener shut — so every
+// subsequent re-dial fails fast and the full backoff schedule plays out.
+func fakeParent(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		dec, enc := gob.NewDecoder(c), gob.NewEncoder(c)
+		var hello message
+		if err := dec.Decode(&hello); err == nil && hello.Kind == kindHello {
+			_ = enc.Encode(&message{Kind: kindHelloAck})
+		}
+		time.Sleep(50 * time.Millisecond) // let the child finish its handshake
+		_ = c.Close()
+		_ = l.Close()
+	}()
+	return l.Addr().String()
+}
+
+func TestReconnectBackoffSchedule(t *testing.T) {
+	// Replace the backoff clock with a recorder: the supervisor "sleeps"
+	// instantly and we assert the exact schedule it asked for.
+	var mu sync.Mutex
+	var slept []time.Duration
+	fakeSleep := func(d time.Duration, done <-chan struct{}) bool {
+		mu.Lock()
+		slept = append(slept, d)
+		mu.Unlock()
+		return true
+	}
+
+	child, err := StartConfig(Config{
+		Name: "c", Parent: fakeParent(t), Buffers: 2, Compute: echoCompute(0),
+		HeartbeatInterval: -1,
+		ReconnectBase:     10 * time.Millisecond,
+		ReconnectCap:      40 * time.Millisecond,
+		ReconnectAttempts: 4,
+		sleep:             fakeSleep,
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer child.Close()
+
+	// The fake parent hangs up after the handshake; the supervisor then
+	// burns through all four attempts (the address no longer listens) and
+	// declares the parent lost.
+	deadline := time.Now().Add(5 * time.Second)
+	for child.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatalf("node never gave up on its parent")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(child.Err().Error(), "reconnect failed after 4 attempts") {
+		t.Fatalf("err = %v", child.Err())
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond, 40 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("backoff schedule %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("attempt %d slept %v, want %v (full schedule %v)", i+1, slept[i], want[i], slept)
+		}
+	}
+}
+
+func TestHeartbeatMissDetection(t *testing.T) {
+	// The child's fault plan drops every frame it sends after the hello,
+	// so from the root's perspective the link goes permanently silent.
+	// The root's supervisor must count the silent intervals and sever.
+	mute := NewFaultPlan(FaultRule{
+		Link: "parent", Dir: FaultSend, After: 2, Repeat: true, Op: FaultDrop,
+	})
+	root := startNode(t, Config{
+		Name: "root", Listen: "127.0.0.1:0", Buffers: 2, Compute: echoCompute(0),
+		HeartbeatInterval: 20 * time.Millisecond, HeartbeatMisses: 2,
+	})
+	startNode(t, Config{
+		Name: "m", Parent: root.Addr(), Buffers: 2, Compute: echoCompute(0),
+		HeartbeatInterval: -1, ReconnectAttempts: -1, Faults: mute,
+	})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for root.Stats().HeartbeatMisses < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("root never noticed the silent link: misses = %d", root.Stats().HeartbeatMisses)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDeliberateDepartureRequeuesImmediately(t *testing.T) {
+	// A child that Closes announces a goodbye, so its undone tasks requeue
+	// without waiting out the reconnect grace window — and the accounting
+	// shows up in Stats.Requeued.
+	root := startNode(t, Config{
+		Name: "root", Listen: "127.0.0.1:0", Buffers: 3,
+		Compute: echoCompute(5 * time.Millisecond),
+	})
+	doomed := startNode(t, Config{
+		Name: "doomed", Parent: root.Addr(), Buffers: 3,
+		Compute: echoCompute(100 * time.Millisecond), // slow: tasks pile up outstanding
+	})
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		doomed.Close()
+	}()
+	results, err := root.RunTimeout(makeTasks(40, 64), 60*time.Second)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(results) != 40 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if got := root.Stats().Requeued; got == 0 {
+		t.Fatalf("no tasks requeued after the child departed mid-run")
+	}
+}
+
+func TestRunDeadlineReturnsTypedErrorAndPartials(t *testing.T) {
+	root := startNode(t, Config{
+		Name: "root", Buffers: 2, Compute: echoCompute(50 * time.Millisecond),
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
+	defer cancel()
+	results, err := root.Run(ctx, makeTasks(50, 16))
+	if err == nil {
+		t.Fatalf("50 x 50ms inside 120ms did not time out")
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %T %v, want *TimeoutError", err, err)
+	}
+	if !errors.Is(err, ErrTimeout) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v does not match ErrTimeout and context.DeadlineExceeded", err)
+	}
+	if te.Expected != 50 || te.Received != len(results) {
+		t.Fatalf("counts %d/%d, partials %d", te.Received, te.Expected, len(results))
+	}
+	if len(results) == 0 || len(results) == 50 {
+		t.Fatalf("expected a strict subset of results, got %d of 50", len(results))
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	root := startNode(t, Config{
+		Name: "root", Buffers: 2, Compute: echoCompute(50 * time.Millisecond),
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(120 * time.Millisecond)
+		cancel()
+	}()
+	_, err := root.Run(ctx, makeTasks(50, 16))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Fatalf("cancellation misreported as a timeout: %v", err)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	n, err := Start("n", WithCompute(echoCompute(0)))
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer n.Close()
+	cfg := n.cfg
+	if cfg.Buffers != 3 {
+		t.Errorf("Buffers = %d, want the paper's FB=3", cfg.Buffers)
+	}
+	if cfg.HeartbeatInterval != time.Second || cfg.HeartbeatMisses != 3 {
+		t.Errorf("heartbeat defaults = %v/%d, want 1s/3", cfg.HeartbeatInterval, cfg.HeartbeatMisses)
+	}
+	if cfg.WriteTimeout != 10*time.Second {
+		t.Errorf("WriteTimeout = %v, want 10s", cfg.WriteTimeout)
+	}
+	if cfg.ReconnectBase != 100*time.Millisecond || cfg.ReconnectCap != 2*time.Second || cfg.ReconnectAttempts != 5 {
+		t.Errorf("reconnect defaults = %v/%v/%d, want 100ms/2s/5", cfg.ReconnectBase, cfg.ReconnectCap, cfg.ReconnectAttempts)
+	}
+	if cfg.ReconnectGrace != 5*time.Second {
+		t.Errorf("ReconnectGrace = %v, want 5s", cfg.ReconnectGrace)
+	}
+	if cfg.ChunkSize != 4096 {
+		t.Errorf("ChunkSize = %d, want 4096", cfg.ChunkSize)
+	}
+
+	// Negative values disable the corresponding machinery.
+	d, err := Start("d",
+		WithCompute(echoCompute(0)),
+		WithHeartbeat(-1, 0),
+		WithWriteTimeout(-1),
+		WithReconnect(0, 0, -1),
+		WithReconnectGrace(-1),
+	)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer d.Close()
+	if d.cfg.HeartbeatInterval != 0 || d.cfg.WriteTimeout != 0 || d.cfg.ReconnectAttempts != 0 || d.cfg.ReconnectGrace != 0 {
+		t.Errorf("disabled config = hb %v, wto %v, attempts %d, grace %v; want all zero",
+			d.cfg.HeartbeatInterval, d.cfg.WriteTimeout, d.cfg.ReconnectAttempts, d.cfg.ReconnectGrace)
+	}
+}

@@ -1,7 +1,7 @@
 package live
 
 import (
-	"fmt"
+	"sort"
 	"time"
 )
 
@@ -39,26 +39,40 @@ func (n *Node) sendPort() {
 func (n *Node) nextChunk() *childSession {
 	n.mu.Lock()
 
-	// Reclaim work from children that disappeared: the in-flight transfer
-	// and every task delivered into the dead subtree without a result yet
-	// go back into the buffer for re-execution.
+	// Reclaim work from dead children once the reconnect grace window
+	// expires (immediately for deliberate departures): the in-flight
+	// transfer and every task delivered into the dead subtree without a
+	// result yet go back into the buffer for re-execution — the engine's
+	// DepartMutation semantics. Reclaimed sessions leave the child list;
+	// a later reconnect starts a fresh session.
+	grace := n.cfg.ReconnectGrace
+	kept := n.children[:0]
 	for _, s := range n.children {
-		if !s.gone {
+		if !s.gone || (!s.left && grace > 0 && time.Since(s.goneAt) < grace) {
+			kept = append(kept, s)
 			continue
 		}
 		if s.active != nil {
 			n.buffer = append(n.buffer, s.active.task)
 			s.active = nil
+			n.stats.Requeued++
 			n.wakeLocked()
 		}
 		if len(s.outstanding) > 0 {
-			for _, t := range s.outstanding {
-				n.buffer = append(n.buffer, t)
+			ids := make([]uint64, 0, len(s.outstanding))
+			for id := range s.outstanding {
+				ids = append(ids, id)
 			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, id := range ids {
+				n.buffer = append(n.buffer, s.outstanding[id])
+			}
+			n.stats.Requeued += int64(len(ids))
 			s.outstanding = make(map[uint64]Task)
 			n.wakeLocked()
 		}
 	}
+	n.children = kept
 
 	var best *childSession
 	bestFresh := false
@@ -78,7 +92,9 @@ func (n *Node) nextChunk() *childSession {
 			continue
 		}
 		switch {
-		case s.active != nil:
+		// A transfer with every byte written is awaiting its final ack:
+		// the port is free, but the child is not ready for a fresh task.
+		case s.active != nil && !s.active.sentAll:
 			if n.cfg.NonInterruptible {
 				// Run-to-completion: an unfinished transfer owns the port.
 				n.mu.Unlock()
@@ -87,7 +103,7 @@ func (n *Node) nextChunk() *childSession {
 			if better(s, best) {
 				best, bestFresh = s, false
 			}
-		case s.pending > 0 && haveTask:
+		case s.active == nil && s.pending > 0 && haveTask:
 			if better(s, best) {
 				best, bestFresh = s, true
 			}
@@ -103,7 +119,7 @@ func (n *Node) nextChunk() *childSession {
 		// Preemption accounting: starting a fresh transfer while another
 		// child's transfer is unfinished is an interruption.
 		for _, s := range n.children {
-			if s != best && s.active != nil {
+			if s != best && s.active != nil && !s.active.sentAll {
 				n.stats.Interrupts++
 				break
 			}
@@ -114,7 +130,7 @@ func (n *Node) nextChunk() *childSession {
 		best.active = &outTransfer{task: t}
 		n.stats.Forwarded++
 		n.stats.ByChild[best.name]++
-		if n.parent != nil {
+		if !n.root {
 			n.stats.Requests++
 			needReq = true
 		}
@@ -123,9 +139,7 @@ func (n *Node) nextChunk() *childSession {
 
 	if needReq {
 		// The freed buffer requests a refill (the paper's rule).
-		if err := n.parent.send(&message{Kind: kindRequest, N: 1}); err != nil && !n.isClosed() {
-			n.fail(fmt.Errorf("live: request: %w", err))
-		}
+		n.requestMore(1)
 	}
 	return best
 }
@@ -149,7 +163,8 @@ func (n *Node) wakeLocked() {
 func (n *Node) sendChunk(s *childSession) {
 	n.mu.Lock()
 	tr := s.active
-	if tr == nil || s.gone {
+	c := s.c
+	if tr == nil || tr.sentAll || s.gone {
 		n.mu.Unlock()
 		return
 	}
@@ -177,23 +192,26 @@ func (n *Node) sendChunk(s *childSession) {
 		}
 	}
 	start := time.Now()
-	err := s.c.send(m)
+	err := c.send(m)
 	s.link.observe(time.Since(start) + delayOf(n.cfg.LinkDelay, s.name))
 
-	n.mu.Lock()
 	if err != nil {
-		// The child is unreachable; reclaim the task on the next pick.
-		s.gone = true
-		n.mu.Unlock()
-		n.wake(n.kick)
+		// The child is unreachable; the grace window starts now and the
+		// task is reclaimed when it expires.
+		n.markChildGone(s, c)
 		return
 	}
-	tr.offset = end
-	if last {
-		// Fully delivered: the task is now the child's responsibility
-		// until its result passes back through.
-		s.outstanding[tr.task.ID] = tr.task
-		s.active = nil
+	n.mu.Lock()
+	// The session may have been revived on a newer connection mid-send;
+	// only the owning connection may advance the transfer.
+	if s.c == c && s.active == tr {
+		tr.offset = end
+		if last {
+			// Every byte is written, but the task becomes the child's
+			// responsibility only when the final chunk is acked (or a
+			// reconnect handshake proves receipt).
+			tr.sentAll = true
+		}
 	}
 	n.mu.Unlock()
 }

@@ -17,6 +17,9 @@ type StatusSnapshot struct {
 	Stats    Stats              `json:"stats"`
 	Links    map[string]float64 `json:"measuredLinkSeconds"` // EWMA per-chunk time by child
 	Uptime   string             `json:"uptime"`
+	// Connected reports whether the uplink is currently established; a
+	// non-root node mid-reconnect shows false (always true at the root).
+	Connected bool `json:"connected"`
 }
 
 // statusServer serves node introspection over HTTP.
@@ -75,11 +78,12 @@ func (s *statusServer) handle(w http.ResponseWriter, r *http.Request) {
 	n := s.node
 	n.mu.Lock()
 	snap := StatusSnapshot{
-		Name:     n.cfg.Name,
-		Root:     n.parent == nil,
-		Buffered: len(n.buffer),
-		Links:    map[string]float64{},
-		Uptime:   time.Since(s.started).Round(time.Millisecond).String(),
+		Name:      n.cfg.Name,
+		Root:      n.root,
+		Buffered:  len(n.buffer),
+		Links:     map[string]float64{},
+		Uptime:    time.Since(s.started).Round(time.Millisecond).String(),
+		Connected: n.root || n.parent != nil,
 	}
 	for _, c := range n.children {
 		if !c.gone {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -12,7 +13,8 @@ import (
 type msgKind uint8
 
 const (
-	// kindHello introduces a child to its parent (child → parent).
+	// kindHello introduces a child to its parent (child → parent). On a
+	// reconnect it carries Resume points for partially received transfers.
 	kindHello msgKind = iota + 1
 	// kindRequest asks the parent for N more tasks (child → parent).
 	kindRequest
@@ -26,7 +28,31 @@ const (
 	kindResult
 	// kindShutdown tells the subtree to wind down (parent → child).
 	kindShutdown
+	// kindHeartbeat is a liveness probe sent on an otherwise idle link in
+	// both directions; any inbound frame counts as proof of life.
+	kindHeartbeat
+	// kindChunkAck confirms receipt of a chunk (child → parent). The
+	// parent treats a task as the child's responsibility only once the
+	// final chunk is acked, and resumes interrupted transfers from the
+	// last acknowledged offset after a reconnect.
+	kindChunkAck
+	// kindHelloAck answers a hello (parent → child): whether the parent
+	// revived the child's previous session and which partial transfers it
+	// agreed to resume.
+	kindHelloAck
+	// kindGoodbye announces a deliberate departure (child → parent), so
+	// the parent reclaims the subtree's tasks immediately instead of
+	// waiting out the reconnect grace window.
+	kindGoodbye
 )
+
+// ResumePoint names a partially received transfer offered for resumption
+// in a reconnecting child's hello: the child holds the first Offset bytes
+// of the task's payload.
+type ResumePoint struct {
+	Task   uint64
+	Offset int
+}
 
 // message is the single wire envelope. One gob stream per direction per
 // connection.
@@ -34,12 +60,18 @@ type message struct {
 	Kind msgKind
 
 	// Hello.
-	Name string
+	Name   string
+	Resume []ResumePoint
+
+	// HelloAck.
+	Revived  bool
+	Accepted []uint64
 
 	// Request.
 	N int
 
-	// Chunk.
+	// Chunk and ChunkAck. A ChunkAck's Offset is the contiguous byte
+	// count the child holds; Last marks the final ack of a transfer.
 	Task   uint64
 	Size   int // total payload size, set on every chunk
 	Offset int
@@ -53,35 +85,106 @@ type message struct {
 
 // conn wraps a network connection with gob codecs and a write lock so
 // multiple goroutines (request sender, result relay, send port) can share
-// the outbound stream safely.
+// the outbound stream safely. It also carries the link's supervision
+// state: the receive timestamp heartbeat monitors watch, the per-message
+// write deadline, and the fault-injection plan consulted on every frame.
 type conn struct {
-	raw net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
-	wmu sync.Mutex
+	raw      net.Conn
+	enc      *gob.Encoder
+	dec      *gob.Decoder
+	wmu      sync.Mutex
+	peer     string // remote node name; "parent" on an uplink
+	faults   *FaultPlan
+	writeTO  time.Duration
+	lastRecv atomic.Int64 // unix nanos of the last inbound frame
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
-func newConn(raw net.Conn) *conn {
-	return &conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+func newConn(raw net.Conn, peer string, faults *FaultPlan, writeTO time.Duration) *conn {
+	c := &conn{
+		raw:     raw,
+		enc:     gob.NewEncoder(raw),
+		dec:     gob.NewDecoder(raw),
+		peer:    peer,
+		faults:  faults,
+		writeTO: writeTO,
+		stop:    make(chan struct{}),
+	}
+	c.lastRecv.Store(time.Now().UnixNano())
+	return c
 }
 
-// send writes one message, serialized with the connection's write lock.
+// errFaultSevered reports a connection cut by the fault-injection plan; it
+// surfaces through the normal link-failure path so recovery is exercised
+// exactly as it would be by a real network partition.
+var errFaultSevered = fmt.Errorf("live: connection severed by fault plan")
+
+// send writes one message, serialized with the connection's write lock and
+// bounded by the per-message write deadline.
 func (c *conn) send(m *message) error {
+	if c.faults != nil {
+		switch op, d := c.faults.decide(FaultSend, c.peer, FrameKind(m.Kind)); op {
+		case FaultDrop:
+			return nil // silently lost in the "network"
+		case FaultDelay:
+			time.Sleep(d)
+		case FaultSever:
+			_ = c.close()
+			return errFaultSevered
+		}
+	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.writeTO > 0 {
+		_ = c.raw.SetWriteDeadline(time.Now().Add(c.writeTO))
+	}
 	return c.enc.Encode(m)
 }
 
-// recv reads the next message.
+// recv reads the next message, stamping the link's proof-of-life clock.
 func (c *conn) recv() (*message, error) {
-	var m message
-	if err := c.dec.Decode(&m); err != nil {
-		return nil, err
+	for {
+		var m message
+		if err := c.dec.Decode(&m); err != nil {
+			return nil, err
+		}
+		c.lastRecv.Store(time.Now().UnixNano())
+		if c.faults != nil {
+			switch op, d := c.faults.decide(FaultRecv, c.peer, FrameKind(m.Kind)); op {
+			case FaultDrop:
+				continue // lost before delivery
+			case FaultDelay:
+				time.Sleep(d)
+			case FaultSever:
+				_ = c.close()
+				return nil, errFaultSevered
+			}
+		}
+		return &m, nil
 	}
-	return &m, nil
 }
 
-func (c *conn) close() error { return c.raw.Close() }
+// recvTimeout reads one message under a read deadline (handshakes only:
+// the steady-state read loop relies on heartbeat supervision instead).
+func (c *conn) recvTimeout(d time.Duration) (*message, error) {
+	if d > 0 {
+		_ = c.raw.SetReadDeadline(time.Now().Add(d))
+		defer c.raw.SetReadDeadline(time.Time{})
+	}
+	return c.recv()
+}
+
+// sinceRecv reports how long the link has been silent inbound.
+func (c *conn) sinceRecv() time.Duration {
+	return time.Duration(time.Now().UnixNano() - c.lastRecv.Load())
+}
+
+// close shuts the connection down and releases its supervisor.
+func (c *conn) close() error {
+	c.stopOnce.Do(func() { close(c.stop) })
+	return c.raw.Close()
+}
 
 // inTransfer assembles a task arriving in chunks.
 type inTransfer struct {
