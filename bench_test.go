@@ -29,6 +29,7 @@ func benchOptions() experiments.Options {
 }
 
 func BenchmarkFig3(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig3(o)
@@ -42,6 +43,7 @@ func BenchmarkFig3(b *testing.B) {
 }
 
 func BenchmarkFig4(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig4(o)
@@ -55,6 +57,7 @@ func BenchmarkFig4(b *testing.B) {
 }
 
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	f4, err := experiments.Fig4(o)
 	if err != nil {
@@ -73,6 +76,7 @@ func BenchmarkTable1(b *testing.B) {
 }
 
 func BenchmarkFig5(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	o.Trees = 6 // four classes × two protocols inside
 	for i := 0; i < b.N; i++ {
@@ -87,6 +91,7 @@ func BenchmarkFig5(b *testing.B) {
 }
 
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	o.Trees = 6
 	for i := 0; i < b.N; i++ {
@@ -101,6 +106,7 @@ func BenchmarkTable2(b *testing.B) {
 }
 
 func BenchmarkFig6(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	f4, err := experiments.Fig4(o)
 	if err != nil {
@@ -119,6 +125,7 @@ func BenchmarkFig6(b *testing.B) {
 }
 
 func BenchmarkFig7(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig7(1000, 200)
 		if err != nil {
@@ -131,6 +138,7 @@ func BenchmarkFig7(b *testing.B) {
 }
 
 func BenchmarkAblationPolicy(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	o.Trees = 6
 	for i := 0; i < b.N; i++ {
@@ -145,6 +153,7 @@ func BenchmarkAblationPolicy(b *testing.B) {
 }
 
 func BenchmarkAblationInterrupt(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	o.Trees = 6
 	for i := 0; i < b.N; i++ {
@@ -159,6 +168,7 @@ func BenchmarkAblationInterrupt(b *testing.B) {
 }
 
 func BenchmarkOverlay(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Overlay(o, 12)
@@ -210,6 +220,7 @@ func BenchmarkEvaluate(b *testing.B) {
 }
 
 func BenchmarkAblationDecay(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	o.Trees = 6
 	for i := 0; i < b.N; i++ {
@@ -224,6 +235,7 @@ func BenchmarkAblationDecay(b *testing.B) {
 }
 
 func BenchmarkChurn(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	o.Trees = 6
 	for i := 0; i < b.N; i++ {
@@ -238,6 +250,7 @@ func BenchmarkChurn(b *testing.B) {
 }
 
 func BenchmarkDetector(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	o.Trees = 6
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,173 @@
+package main
+
+// The -bench-json mode: run the scaled-down figure benchmarks through
+// testing.Benchmark and persist a machine-readable baseline. The output
+// file, BENCH_<date>.json, is the repo's performance trajectory — every
+// perf PR reruns this mode and commits the new baseline next to the old
+// ones, so regressions in ns/op, allocs/op or trees/sec are visible in
+// the diff (the schema is documented in README.md).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"bwcs/internal/engine"
+	"bwcs/internal/experiments"
+	"bwcs/internal/protocol"
+	"bwcs/internal/randtree"
+)
+
+// benchSchema versions the baseline document format.
+const benchSchema = "bwcs-bench/v1"
+
+// benchEntry is one benchmark's measurement.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	TreesPerSec float64 `json:"trees_per_sec,omitempty"`
+}
+
+// benchReport is the persisted baseline document.
+type benchReport struct {
+	Schema     string       `json:"schema"`
+	Date       string       `json:"date"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	NumCPU     int          `json:"num_cpu"`
+	Trees      int          `json:"trees"`
+	Tasks      int64        `json:"tasks"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// benchScale mirrors the bench_test.go configuration: small enough to
+// run in milliseconds per iteration, structured like the real sweeps.
+func benchScale(trees int, tasks int64) experiments.Options {
+	o := experiments.Options{
+		Trees:     16,
+		Tasks:     900,
+		Threshold: 100,
+		Seed:      2003,
+		Params:    randtree.Params{MinNodes: 10, MaxNodes: 200, MinComm: 1, MaxComm: 100, Comp: 4000},
+	}
+	if trees > 0 {
+		o.Trees = trees
+	}
+	if tasks > 0 {
+		o.Tasks = tasks
+	}
+	return o
+}
+
+// runBenchJSON measures the benchmark suite and writes BENCH_<date>.json
+// into dir, returning the file path.
+func runBenchJSON(out io.Writer, dir string, trees int, tasks int64) (string, error) {
+	o := benchScale(trees, tasks)
+	small := o
+	small.Trees = max(2, o.Trees/3)
+
+	popBench := func(fn func(experiments.Options) error, opts experiments.Options, treesPerOp int) (func(*testing.B), int) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fn(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, treesPerOp
+	}
+
+	type namedBench struct {
+		name       string
+		treesPerOp int
+		fn         func(*testing.B)
+	}
+	var benches []namedBench
+	add := func(name string, fn func(*testing.B), treesPerOp int) {
+		benches = append(benches, namedBench{name: name, treesPerOp: treesPerOp, fn: fn})
+	}
+
+	fn, n := popBench(func(o experiments.Options) error { _, err := experiments.Fig3(o); return err }, o, o.Trees)
+	add("Fig3", fn, n)
+	fn, n = popBench(func(o experiments.Options) error { _, err := experiments.Fig4(o); return err }, o, 4*o.Trees)
+	add("Fig4", fn, n)
+	fn, n = popBench(func(o experiments.Options) error { _, err := experiments.Fig5(o); return err }, small, 8*small.Trees)
+	add("Fig5", fn, n)
+	fn, n = popBench(func(o experiments.Options) error { _, err := experiments.Table2(o); return err }, small, small.Trees)
+	add("Table2", fn, n)
+
+	tr := randtree.TreeAt(randtree.Defaults(), 1, 0)
+	add("SimulateIC3", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Run(engine.Config{Tree: tr, Protocol: protocol.Interruptible(3), Tasks: o.Tasks}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, 1)
+	add("SimulateNonIC", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Run(engine.Config{Tree: tr, Protocol: protocol.NonInterruptible(1), Tasks: o.Tasks}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, 1)
+
+	report := benchReport{
+		Schema:    benchSchema,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Trees:     o.Trees,
+		Tasks:     o.Tasks,
+	}
+	for _, nb := range benches {
+		start := time.Now()
+		r := testing.Benchmark(nb.fn)
+		entry := benchEntry{
+			Name:        nb.name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if nb.treesPerOp > 0 && r.NsPerOp() > 0 {
+			entry.TreesPerSec = float64(nb.treesPerOp) * 1e9 / float64(r.NsPerOp())
+		}
+		report.Benchmarks = append(report.Benchmarks, entry)
+		fmt.Fprintf(out, "%-14s %10d ns/op %8d allocs/op %12.0f trees/sec   [%d iters, %v]\n",
+			nb.name, entry.NsPerOp, entry.AllocsPerOp, entry.TreesPerSec, r.N, time.Since(start).Round(time.Millisecond))
+	}
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+time.Now().UTC().Format("2006-01-02")+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	fmt.Fprintf(out, "baseline written to %s\n", path)
+	return path, nil
+}

@@ -7,6 +7,8 @@
 //	bwexp -exp fig4                 # one experiment at default scale
 //	bwexp -exp all -trees 2000      # the whole evaluation, larger population
 //	bwexp -exp fig4 -paper          # the paper's full 25,000×10,000 scale
+//	bwexp -bench-json               # write the BENCH_<date>.json perf baseline
+//	bwexp -exp fig4 -cpuprofile cpu.pb.gz   # profile a sweep (also -memprofile, -trace)
 //
 // Experiments: fig3 fig4 fig5 fig6 fig7 table1 table2 ablation-policy
 // ablation-interrupt ablation-decay churn detector overlay overlay-improve
@@ -19,6 +21,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"time"
 
@@ -111,8 +116,56 @@ func run(args []string, out io.Writer) error {
 		paper     = fs.Bool("paper", false, "use the paper's full scale (25000 trees, 10000 tasks)")
 		quiet     = fs.Bool("q", false, "suppress progress timing")
 		csvDir    = fs.String("csv", "", "also write machine-readable results (CSV/JSON) into this directory")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		traceFile  = fs.String("trace", "", "write a runtime execution trace to this file")
+		benchJSON  = fs.Bool("bench-json", false, "run the scaled-down figure benchmarks and write BENCH_<date>.json")
+		benchOut   = fs.String("bench-out", ".", "directory for the -bench-json baseline file")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			return err
+		}
+		defer rtrace.Stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bwexp: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bwexp: memprofile:", err)
+			}
+		}()
+	}
+
+	if *benchJSON {
+		_, err := runBenchJSON(out, *benchOut, *trees, *tasks)
 		return err
 	}
 
@@ -155,6 +208,11 @@ func run(args []string, out io.Writer) error {
 	for i, id := range ids {
 		if i > 0 {
 			fmt.Fprintln(out, "\n"+strings.Repeat("=", 78)+"\n")
+		}
+		if *quiet {
+			o.Progress = nil
+		} else {
+			o.Progress = progressFunc(id)
 		}
 		start := time.Now()
 		var err error
@@ -256,4 +314,26 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// progressFunc returns an experiments progress callback that rewrites a
+// single stderr line per population, throttled so tight sweeps don't
+// spend their time printing. Progress goes to stderr so redirected
+// stdout stays clean experiment output.
+func progressFunc(label string) func(done, total int) {
+	var last time.Time
+	start := time.Now()
+	return func(done, total int) {
+		now := time.Now()
+		if done < total && now.Sub(last) < 100*time.Millisecond {
+			return
+		}
+		last = now
+		rate := float64(done) / time.Since(start).Seconds()
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d trees (%.0f trees/sec)   ", label, done, total, rate)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+			start = time.Now() // next population (same experiment) restarts the rate
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -89,5 +90,68 @@ func TestUnknownExperiment(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-exp", "fig99"}, &b); err == nil {
 		t.Fatalf("unknown experiment accepted")
+	}
+}
+
+func TestBenchJSONWritesBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench mode runs ~1s per benchmark")
+	}
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-bench-json", "-bench-out", dir, "-trees", "2", "-tasks", "300"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("baseline files = %v (err %v), want exactly one", matches, err)
+	}
+	raw, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatalf("read baseline: %v", err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v\n%s", err, raw)
+	}
+	if report.Schema != benchSchema {
+		t.Fatalf("schema = %q, want %q", report.Schema, benchSchema)
+	}
+	if report.GoVersion == "" || report.Date == "" || report.Trees != 2 || report.Tasks != 300 {
+		t.Fatalf("metadata incomplete: %+v", report)
+	}
+	if len(report.Benchmarks) < 6 {
+		t.Fatalf("only %d benchmarks measured", len(report.Benchmarks))
+	}
+	for _, e := range report.Benchmarks {
+		if e.NsPerOp <= 0 || e.Iterations <= 0 {
+			t.Fatalf("benchmark %s has empty measurements: %+v", e.Name, e)
+		}
+		if e.TreesPerSec <= 0 {
+			t.Fatalf("benchmark %s reports no throughput: %+v", e.Name, e)
+		}
+	}
+	if !strings.Contains(b.String(), "baseline written to") {
+		t.Fatalf("no confirmation printed:\n%s", b.String())
+	}
+}
+
+func TestProfilingFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	trc := filepath.Join(dir, "trace.out")
+	var b strings.Builder
+	if err := run(tiny("fig3", "-cpuprofile", cpu, "-memprofile", mem, "-trace", trc), &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, p := range []string{cpu, mem, trc} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }

@@ -56,7 +56,7 @@ func run(args []string) error {
 		tasks     = fs.Int("tasks", 0, "root only: number of tasks to dispatch")
 		size      = fs.Int("size", 4096, "root only: task payload bytes")
 		timeout   = fs.Duration("timeout", 10*time.Minute, "root only: run deadline")
-		status    = fs.String("status", "", "serve JSON node statistics at this address (e.g. 127.0.0.1:8080)")
+		status    = fs.String("status", "", "serve /status (JSON), /metrics (Prometheus) and /debug/pprof at this address (e.g. 127.0.0.1:8080)")
 
 		heartbeat = fs.Duration("heartbeat", time.Second, "per-link heartbeat interval (negative disables supervision)")
 		hbMisses  = fs.Int("heartbeat-misses", 3, "consecutive silent intervals before a link is severed")
@@ -101,7 +101,8 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s status at http://%s/status\n", *name, addr)
+		fmt.Printf("%s status at http://%s/status, metrics at http://%s/metrics, pprof at http://%s/debug/pprof/\n",
+			*name, addr, addr, addr)
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)

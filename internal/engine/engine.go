@@ -251,6 +251,8 @@ type Result struct {
 	// SkippedMutations counts mutations and attachments that targeted a
 	// node which had already departed and were therefore ignored.
 	SkippedMutations int
+	// Metrics is the run's engine-wide instrumentation snapshot.
+	Metrics Metrics
 }
 
 // UsedCount returns how many nodes computed at least one task.
@@ -368,6 +370,7 @@ type engine struct {
 	rng   *rand.Rand
 
 	trace Tracer
+	met   Metrics
 
 	pool        int64 // undispatched tasks at the root
 	requeued    int64
@@ -439,7 +442,19 @@ func Run(cfg Config) (*Result, error) {
 		res.Nodes[i].MaxCapacity = e.nodes[i].maxCapacity
 		res.Nodes[i].MaxQueued = e.nodes[i].maxOccupied
 		res.Nodes[i].Departed = e.nodes[i].departed
+		if e.nodes[i].stat.MaxShelved > e.met.PeakShelved {
+			e.met.PeakShelved = e.nodes[i].stat.MaxShelved
+		}
+		if e.nodes[i].maxOccupied > e.met.PeakOccupied {
+			e.met.PeakOccupied = e.nodes[i].maxOccupied
+		}
 	}
+	e.met.Events = e.s.Steps()
+	e.met.PeakPending = e.s.PeakPending()
+	e.met.FreeListHits = e.s.FreeListHits()
+	e.met.EventAllocs = e.s.Allocs()
+	e.met.EventsCancels = e.s.Cancelled()
+	res.Metrics = e.met
 	return res, nil
 }
 
@@ -561,6 +576,7 @@ func (e *engine) takeTask(n int32) {
 		ns.pendingDecay--
 		ns.capacity--
 		ns.stat.Decayed++
+		e.met.Decays++
 	} else {
 		e.request(n)
 	}
@@ -579,6 +595,7 @@ func (e *engine) request(n int32) {
 	}
 	ns.reqPending++
 	ns.stat.Requests++
+	e.met.Requests++
 	if e.trace != nil {
 		e.trace.Requested(e.s.Now(), tree.NodeID(n))
 	}
@@ -616,6 +633,7 @@ func (e *engine) growBuffer(n int32) {
 	if ns.capacity > ns.maxCapacity {
 		ns.maxCapacity = ns.capacity
 	}
+	e.met.Grows++
 	if e.trace != nil {
 		e.trace.Grew(e.s.Now(), tree.NodeID(n), ns.capacity)
 	}
@@ -637,6 +655,7 @@ func (e *engine) onSendComplete(p, c int32) {
 		cs.maxOccupied = cs.occupied
 	}
 	cs.stat.Received++
+	e.met.SendsCompleted++
 	if e.trace != nil {
 		e.trace.SendDone(e.s.Now(), tree.NodeID(p), tree.NodeID(c))
 	}
@@ -661,6 +680,7 @@ func (e *engine) onComputeComplete(n int32) {
 	ns.computing = false
 	ns.computeEv = nil
 	ns.stat.Computed++
+	e.met.ComputesDone++
 	e.decayTick(n)
 	e.completed++
 	e.completions = append(e.completions, e.s.Now())
@@ -775,6 +795,7 @@ func (e *engine) trySchedule(n int32) {
 	if !ns.computing && e.hasTask(n) {
 		e.takeTask(n)
 		ns.computing = true
+		e.met.ComputesStarted++
 		ns.computeEv = e.s.Schedule(sim.Time(e.t.W(tree.NodeID(n))), evComputeComplete, n, 0)
 		if e.trace != nil {
 			e.trace.ComputeStart(e.s.Now(), tree.NodeID(n), ns.computeEv.At())
@@ -800,6 +821,7 @@ func (e *engine) trySchedule(n int32) {
 			ns.stat.MaxShelved = len(ns.shelves)
 		}
 		ns.stat.Interrupted++
+		e.met.SendsInterrupted++
 		if e.trace != nil {
 			e.trace.SendInterrupted(e.s.Now(), tree.NodeID(n), tree.NodeID(ns.sending), remaining)
 		}
@@ -825,6 +847,7 @@ func (e *engine) startSend(n, c int32, fromShelf bool) {
 				ns.shelves = append(ns.shelves[:i], ns.shelves[i+1:]...)
 				ns.sending = c
 				ns.sendSince = sh.since
+				e.met.SendsResumed++
 				ns.sendEv = e.s.Schedule(sh.remaining, evSendComplete, n, c)
 				if e.trace != nil {
 					e.trace.SendStart(e.s.Now(), tree.NodeID(n), tree.NodeID(c), ns.sendEv.At(), true)
@@ -850,6 +873,7 @@ func (e *engine) startSend(n, c int32, fromShelf bool) {
 	ns.stat.Forwarded++
 	ns.sending = c
 	ns.sendSince = since
+	e.met.SendsStarted++
 	ns.sendEv = e.s.Schedule(sim.Time(e.t.C(tree.NodeID(c))), evSendComplete, n, c)
 	if e.trace != nil {
 		e.trace.SendStart(e.s.Now(), tree.NodeID(n), tree.NodeID(c), ns.sendEv.At(), false)

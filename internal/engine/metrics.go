@@ -1,0 +1,100 @@
+package engine
+
+import "bwcs/internal/metrics"
+
+// Metrics aggregates engine-wide counters over one run. Every field is
+// maintained by a plain integer increment inline in the event handlers —
+// no map lookups, no allocation, no virtual calls — so keeping them
+// costs nothing measurable even on paper-scale sweeps.
+//
+// The action counters (sends, computes, requests, grows) count exactly
+// the actions a trace.Recorder attached to the same run would record;
+// the conformance test in internal/trace holds the two layers to that
+// contract. Note Requests counts post-startup requests only: the initial
+// burst (one per buffer per node) is configuration, not scheduling, and
+// is likewise absent from traces.
+type Metrics struct {
+	// Kernel counters, snapshotted from the sim.Simulator.
+	Events        uint64 // simulator events dispatched
+	PeakPending   int    // event-heap high-water mark
+	FreeListHits  uint64 // event allocations served by recycling
+	EventAllocs   uint64 // event allocations that hit the heap
+	EventsCancels uint64 // events removed by cancellation (shelving, departures)
+
+	// Scheduling action counters.
+	SendsStarted     int64 // fresh transfers begun
+	SendsResumed     int64 // shelved transfers resumed
+	SendsInterrupted int64 // in-flight transfers preempted onto the shelf
+	SendsCompleted   int64 // transfers delivered
+	ComputesStarted  int64
+	ComputesDone     int64
+	Requests         int64 // task requests sent upward after startup
+	Grows            int64 // buffer-growth events (non-IC protocol)
+	Decays           int64 // buffers retired by the decay rule
+
+	// Platform high-water marks.
+	PeakShelved  int   // most simultaneously shelved transfers at any node
+	PeakOccupied int64 // most tasks queued at any single node
+}
+
+// FreeListHitRate returns the fraction of event allocations served from
+// the recycler, in [0, 1]; a healthy run is near 1.
+func (m *Metrics) FreeListHitRate() float64 {
+	total := m.FreeListHits + m.EventAllocs
+	if total == 0 {
+		return 0
+	}
+	return float64(m.FreeListHits) / float64(total)
+}
+
+// Add accumulates o into m: counters sum, high-water marks take the max.
+// Sweeps use it to aggregate per-tree metrics into population totals.
+func (m *Metrics) Add(o Metrics) {
+	m.Events += o.Events
+	m.FreeListHits += o.FreeListHits
+	m.EventAllocs += o.EventAllocs
+	m.EventsCancels += o.EventsCancels
+	m.SendsStarted += o.SendsStarted
+	m.SendsResumed += o.SendsResumed
+	m.SendsInterrupted += o.SendsInterrupted
+	m.SendsCompleted += o.SendsCompleted
+	m.ComputesStarted += o.ComputesStarted
+	m.ComputesDone += o.ComputesDone
+	m.Requests += o.Requests
+	m.Grows += o.Grows
+	m.Decays += o.Decays
+	if o.PeakPending > m.PeakPending {
+		m.PeakPending = o.PeakPending
+	}
+	if o.PeakShelved > m.PeakShelved {
+		m.PeakShelved = o.PeakShelved
+	}
+	if o.PeakOccupied > m.PeakOccupied {
+		m.PeakOccupied = o.PeakOccupied
+	}
+}
+
+// Register publishes the metrics into a registry under the given name
+// prefix (e.g. "engine"), so any layer holding a registry — the live
+// status server, the sweep harness — can expose engine runs uniformly.
+func (m *Metrics) Register(r *metrics.Registry, prefix string) {
+	set := func(name, help string, v int64) {
+		r.Gauge(prefix+"_"+name, help).Set(v)
+	}
+	set("events_total", "simulator events dispatched", int64(m.Events))
+	set("event_heap_peak", "event-heap high-water mark", int64(m.PeakPending))
+	set("event_freelist_hits_total", "event allocations served by recycling", int64(m.FreeListHits))
+	set("event_allocs_total", "event allocations that hit the heap", int64(m.EventAllocs))
+	set("event_cancels_total", "events removed by cancellation", int64(m.EventsCancels))
+	set("sends_started_total", "fresh transfers begun", m.SendsStarted)
+	set("sends_resumed_total", "shelved transfers resumed", m.SendsResumed)
+	set("sends_interrupted_total", "in-flight transfers preempted", m.SendsInterrupted)
+	set("sends_completed_total", "transfers delivered", m.SendsCompleted)
+	set("computes_started_total", "computations begun", m.ComputesStarted)
+	set("computes_done_total", "computations completed", m.ComputesDone)
+	set("requests_total", "task requests sent upward after startup", m.Requests)
+	set("grows_total", "buffer-growth events", m.Grows)
+	set("decays_total", "buffers retired by decay", m.Decays)
+	set("shelved_peak", "most simultaneously shelved transfers at any node", int64(m.PeakShelved))
+	set("node_queue_peak", "most tasks queued at any single node", m.PeakOccupied)
+}

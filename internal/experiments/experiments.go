@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"bwcs/internal/engine"
 	"bwcs/internal/optimal"
@@ -42,6 +43,15 @@ type Options struct {
 	Params randtree.Params
 	// Workers bounds sweep parallelism; 0 means GOMAXPROCS.
 	Workers int
+
+	// Progress, when non-nil, observes sweep advancement: it is called
+	// after each simulated tree with the number of trees finished so far
+	// in the current population and the population size. Calls are
+	// serialized (done is strictly increasing) but arrive from worker
+	// goroutines, so the callback must be fast and must not call back
+	// into the sweep. Reporting does not perturb results: the tree
+	// population and all outcomes are independent of it.
+	Progress func(done, total int)
 }
 
 // Default returns scaled-down defaults that preserve the paper's shapes:
@@ -120,11 +130,22 @@ type TreeOutcome struct {
 	Makespan sim.Time
 }
 
+// SweepMetrics instruments one population sweep: wall-clock throughput
+// plus the engine counters summed over every tree in the population. The
+// Engine aggregate is deterministic (integer sums over deterministic
+// runs); Elapsed and TreesPerSec are wall-clock measurements.
+type SweepMetrics struct {
+	Elapsed     time.Duration
+	TreesPerSec float64
+	Engine      engine.Metrics
+}
+
 // Population is the outcome of one protocol over the whole tree
 // population.
 type Population struct {
 	Protocol protocol.Protocol
 	Outcomes []TreeOutcome
+	Sweep    SweepMetrics
 }
 
 // ReachedFraction returns the fraction of trees that reached the optimal
@@ -239,21 +260,44 @@ func RunPopulation(o Options, protos []protocol.Protocol) ([]Population, error) 
 			return nil, err
 		}
 		outcomes := make([]TreeOutcome, o.Trees)
+		var (
+			mu    sync.Mutex
+			agg   engine.Metrics
+			done  int
+			start = time.Now()
+		)
 		if err := parallelFor(o.Trees, o.workers(), func(i int) error {
-			oc, _, err := EvaluateTree(o, p, i, nil)
+			oc, res, err := EvaluateTree(o, p, i, nil)
+			if err != nil {
+				return err
+			}
 			outcomes[i] = oc
-			return err
+			mu.Lock()
+			agg.Add(res.Metrics)
+			done++
+			d := done
+			if o.Progress != nil {
+				o.Progress(d, o.Trees)
+			}
+			mu.Unlock()
+			return nil
 		}); err != nil {
 			return nil, err
 		}
-		out[pi] = Population{Protocol: p, Outcomes: outcomes}
+		elapsed := time.Since(start)
+		sweep := SweepMetrics{Elapsed: elapsed, Engine: agg}
+		if s := elapsed.Seconds(); s > 0 {
+			sweep.TreesPerSec = float64(o.Trees) / s
+		}
+		out[pi] = Population{Protocol: p, Outcomes: outcomes, Sweep: sweep}
 	}
 	return out, nil
 }
 
 // parallelFor runs fn(0..n-1) across at most workers goroutines and
-// returns the first error encountered (all workers drain before return, so
-// every index is either processed or abandoned deterministically).
+// returns the first error encountered, wrapped with the failing index
+// (all workers drain before return, so every index is either processed
+// or abandoned deterministically).
 func parallelFor(n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
@@ -261,7 +305,7 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {
-				return err
+				return fmt.Errorf("experiments: index %d: %w", i, err)
 			}
 		}
 		return nil
@@ -282,11 +326,11 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 		next++
 		return i, true
 	}
-	fail := func(err error) {
+	fail := func(i int, err error) {
 		mu.Lock()
 		defer mu.Unlock()
 		if firstErr == nil {
-			firstErr = err
+			firstErr = fmt.Errorf("experiments: index %d: %w", i, err)
 		}
 	}
 	wg.Add(workers)
@@ -299,7 +343,7 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 					return
 				}
 				if err := fn(i); err != nil {
-					fail(err)
+					fail(i, err)
 					return
 				}
 			}

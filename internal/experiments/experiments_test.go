@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -408,8 +409,11 @@ func TestParallelForErrorPropagates(t *testing.T) {
 		}
 		return nil
 	})
-	if err != errTest {
-		t.Fatalf("err = %v, want errTest", err)
+	if !errors.Is(err, errTest) {
+		t.Fatalf("err = %v, want wrapped errTest", err)
+	}
+	if !strings.Contains(err.Error(), "index 37") {
+		t.Fatalf("err = %v, want the failing index in the message", err)
 	}
 }
 

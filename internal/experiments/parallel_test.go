@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bwcs/internal/protocol"
+)
+
+// TestParallelForWrapsFailingIndex: the error carries the index that
+// failed, in both the serial and the parallel execution paths.
+func TestParallelForWrapsFailingIndex(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := parallelFor(50, workers, func(i int) error {
+			if i == 13 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want wrapped boom", workers, err)
+		}
+		if !strings.Contains(err.Error(), "index 13") {
+			t.Fatalf("workers=%d: err = %v, want the failing index", workers, err)
+		}
+	}
+}
+
+// TestParallelForFirstErrorWins: when several indices fail, the reported
+// error is the first failure that was recorded, and later failures never
+// overwrite it.
+func TestParallelForFirstErrorWins(t *testing.T) {
+	var order []int
+	var mu sync.Mutex
+	err := parallelFor(40, 4, func(i int) error {
+		if i%10 == 7 { // indices 7, 17, 27, 37 fail
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return fmt.Errorf("fail-%d", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatalf("no error returned")
+	}
+	mu.Lock()
+	first := order[0]
+	mu.Unlock()
+	if want := fmt.Sprintf("experiments: index %d: fail-%d", first, first); err.Error() != want {
+		t.Fatalf("err = %q, want the first recorded failure %q", err, want)
+	}
+}
+
+// TestParallelForDrainsWorkers: after an error, parallelFor still waits
+// for every in-flight call to return before it does — no fn invocation
+// may still be running when the caller regains control — and no new
+// indices are grabbed once the error is recorded.
+func TestParallelForDrainsWorkers(t *testing.T) {
+	const n = 1000
+	var started, finished atomic.Int64
+	gate := make(chan struct{})
+	err := parallelFor(n, 8, func(i int) error {
+		started.Add(1)
+		defer finished.Add(1)
+		if i == 0 {
+			// Fail fast while other workers are blocked mid-call, forcing
+			// the drain path to actually wait.
+			close(gate)
+			return errors.New("early failure")
+		}
+		<-gate
+		return nil
+	})
+	if err == nil {
+		t.Fatalf("no error returned")
+	}
+	s, f := started.Load(), finished.Load()
+	if s != f {
+		t.Fatalf("parallelFor returned with %d calls still running (%d started, %d finished)", s-f, s, f)
+	}
+	// The scheduler must have stopped early: with 8 workers and an
+	// error on the first index, nearly all of the 1000 indices must
+	// never have started.
+	if s >= n {
+		t.Fatalf("all %d indices ran despite an early error", n)
+	}
+}
+
+// TestProgressCallbackMonotone: Progress reports strictly increasing
+// done counts, ends at the population size, and fires once per tree per
+// protocol.
+func TestProgressCallbackMonotone(t *testing.T) {
+	o := tinyOptions()
+	o.Workers = 4
+	var mu sync.Mutex
+	var calls int
+	last := 0
+	o.Progress = func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if total != o.Trees {
+			t.Errorf("total = %d, want %d", total, o.Trees)
+		}
+		if done != last+1 && done != 1 { // resets to 1 at each new population
+			t.Errorf("done jumped %d -> %d", last, done)
+		}
+		last = done
+		calls++
+	}
+	protos := []protocol.Protocol{protocol.Interruptible(3), protocol.NonInterruptible(1)}
+	pops, err := RunPopulation(o, protos)
+	if err != nil {
+		t.Fatalf("RunPopulation: %v", err)
+	}
+	if want := o.Trees * len(protos); calls != want {
+		t.Fatalf("progress calls = %d, want %d", calls, want)
+	}
+	if last != o.Trees {
+		t.Fatalf("final done = %d, want %d", last, o.Trees)
+	}
+	// The sweep aggregate must reflect real engine work and deterministic
+	// counts: every task in every tree computed exactly once.
+	for _, p := range pops {
+		wantComputes := int64(o.Trees) * o.Tasks
+		if p.Sweep.Engine.ComputesDone != wantComputes {
+			t.Fatalf("%v: aggregate ComputesDone = %d, want %d", p.Protocol, p.Sweep.Engine.ComputesDone, wantComputes)
+		}
+		if p.Sweep.Engine.Events == 0 || p.Sweep.TreesPerSec <= 0 || p.Sweep.Elapsed <= 0 {
+			t.Fatalf("%v: sweep metrics not populated: %+v", p.Protocol, p.Sweep)
+		}
+	}
+}
+
+// TestSweepAggregateDeterministic: the engine-side sweep aggregate is a
+// pure function of the options, regardless of worker count.
+func TestSweepAggregateDeterministic(t *testing.T) {
+	o := tinyOptions()
+	protos := []protocol.Protocol{protocol.Interruptible(3)}
+	o.Workers = 1
+	serial, err := RunPopulation(o, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 6
+	parallel, err := RunPopulation(o, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := serial[0].Sweep.Engine, parallel[0].Sweep.Engine
+	if a != b {
+		t.Fatalf("aggregate metrics differ by worker count:\nserial:   %+v\nparallel: %+v", a, b)
+	}
+}

@@ -55,6 +55,13 @@ type Simulator struct {
 	free    []*Event
 	handler Handler
 	steps   uint64
+
+	// Instrumentation counters, all maintained inline on the hot paths
+	// (an integer increment each, no allocation).
+	peakHeap  int    // most events ever queued simultaneously
+	freeHits  uint64 // Schedule calls served from the free list
+	allocs    uint64 // Schedule calls that allocated a new Event
+	cancelled uint64 // events removed by Cancel
 }
 
 // New returns a simulator at time 0 that dispatches to h.
@@ -74,6 +81,20 @@ func (s *Simulator) Pending() int { return len(s.heap) }
 // Steps returns the number of events dispatched so far.
 func (s *Simulator) Steps() uint64 { return s.steps }
 
+// PeakPending returns the most events that were ever queued at once —
+// the high-water mark of the event heap.
+func (s *Simulator) PeakPending() int { return s.peakHeap }
+
+// FreeListHits returns how many Schedule calls reused a recycled Event.
+func (s *Simulator) FreeListHits() uint64 { return s.freeHits }
+
+// Allocs returns how many Schedule calls allocated a fresh Event (free
+// list empty). FreeListHits + Allocs equals the total Schedule count.
+func (s *Simulator) Allocs() uint64 { return s.allocs }
+
+// Cancelled returns how many queued events were removed by Cancel.
+func (s *Simulator) Cancelled() uint64 { return s.cancelled }
+
 // Schedule queues an event delay timesteps from now and returns it. The
 // returned pointer is valid until the event fires or is cancelled. Delay
 // must be non-negative.
@@ -85,8 +106,10 @@ func (s *Simulator) Schedule(delay Time, kind Kind, node, child int32) *Event {
 	if n := len(s.free); n > 0 {
 		e = s.free[n-1]
 		s.free = s.free[:n-1]
+		s.freeHits++
 	} else {
 		e = new(Event)
+		s.allocs++
 	}
 	e.at = s.now + delay
 	e.seq = s.seq
@@ -109,6 +132,7 @@ func (s *Simulator) Cancel(e *Event) Time {
 	remaining := e.at - s.now
 	s.remove(e)
 	s.recycle(e)
+	s.cancelled++
 	return remaining
 }
 
@@ -170,6 +194,9 @@ func less(a, b *Event) bool {
 func (s *Simulator) push(e *Event) {
 	e.index = int32(len(s.heap))
 	s.heap = append(s.heap, e)
+	if len(s.heap) > s.peakHeap {
+		s.peakHeap = len(s.heap)
+	}
 	s.up(int(e.index))
 }
 

@@ -5,7 +5,11 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"sort"
 	"time"
+
+	"bwcs/internal/metrics"
 )
 
 // StatusSnapshot is the JSON document served by the status endpoint.
@@ -30,11 +34,16 @@ type statusServer struct {
 	ln      net.Listener
 }
 
-// ServeStatus exposes the node's live statistics as JSON at /status on the
-// given address (use "127.0.0.1:0" for an ephemeral port; the chosen
-// address is returned). The endpoint is read-only introspection for
-// operating a deployed overlay; it stops when the node closes or
-// StopStatus is called.
+// ServeStatus exposes the node's introspection endpoints on the given
+// address (use "127.0.0.1:0" for an ephemeral port; the chosen address
+// is returned):
+//
+//	/status        the node's statistics as JSON (StatusSnapshot)
+//	/metrics       the same counters in Prometheus text format
+//	/debug/pprof/  the standard net/http/pprof profiling handlers
+//
+// The endpoints are read-only introspection for operating a deployed
+// overlay; they stop when the node closes or StopStatus is called.
 func (n *Node) ServeStatus(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -43,6 +52,12 @@ func (n *Node) ServeStatus(addr string) (string, error) {
 	ss := &statusServer{node: n, started: time.Now(), ln: ln}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", ss.handle)
+	mux.HandleFunc("/metrics", ss.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	ss.srv = &http.Server{Handler: mux}
 
 	n.mu.Lock()
@@ -98,4 +113,72 @@ func (s *statusServer) handle(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(snap)
+}
+
+// handleMetrics renders the node's counters in the Prometheus text
+// exposition format. Every sample is derived from the same Stats
+// snapshot /status serves, so the two endpoints always agree.
+func (s *statusServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	n := s.node
+	st := n.Stats()
+	n.mu.Lock()
+	buffered := int64(len(n.buffer))
+	connected := int64(0)
+	if n.root || n.parent != nil {
+		connected = 1
+	}
+	children := int64(0)
+	for _, c := range n.children {
+		if !c.gone {
+			children++
+		}
+	}
+	n.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = metricsSnapshot(st, buffered, connected, children, time.Since(s.started)).WritePrometheus(w)
+}
+
+// metricsSnapshot converts a Stats snapshot (plus point-in-time gauges)
+// into a renderable metric set. Factored out so tests can assert the
+// exact exposition against a Stats value.
+func metricsSnapshot(st Stats, buffered, connected, children int64, uptime time.Duration) metrics.Snapshot {
+	counter := func(name, help string, v int64) metrics.Family {
+		return metrics.Family{Name: name, Help: help, Type: "counter", Samples: []metrics.Sample{{Value: v}}}
+	}
+	gauge := func(name, help string, v int64) metrics.Family {
+		return metrics.Family{Name: name, Help: help, Type: "gauge", Samples: []metrics.Sample{{Value: v}}}
+	}
+	snap := metrics.Snapshot{
+		counter("live_tasks_computed_total", "tasks computed locally", st.Computed),
+		counter("live_tasks_forwarded_total", "tasks sent to children", st.Forwarded),
+		counter("live_tasks_received_total", "tasks received from the parent", st.Received),
+		counter("live_requests_sent_total", "requests sent to the parent", st.Requests),
+		counter("live_send_interrupts_total", "send-port switches away from an unfinished transfer", st.Interrupts),
+		counter("live_reconnects_total", "successful re-dials of a lost parent link", st.Reconnects),
+		counter("live_tasks_requeued_total", "tasks reclaimed from dead subtrees and requeued", st.Requeued),
+		counter("live_transfers_resumed_total", "transfers resumed mid-payload after a child reconnected", st.Resumed),
+		counter("live_heartbeat_misses_total", "supervision intervals that passed with a silent link", st.HeartbeatMisses),
+		gauge("live_buffered_tasks", "tasks currently buffered", buffered),
+		gauge("live_queued_peak", "most tasks simultaneously buffered", int64(st.MaxQueued)),
+		gauge("live_connected", "whether the uplink is established (always 1 at the root)", connected),
+		gauge("live_children", "currently connected children", children),
+		gauge("live_uptime_seconds", "seconds since the status server started", int64(uptime.Seconds())),
+	}
+	if len(st.ByChild) > 0 {
+		names := make([]string, 0, len(st.ByChild))
+		for name := range st.ByChild {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		f := metrics.Family{Name: "live_forwarded_by_child_total", Help: "tasks forwarded per child", Type: "counter"}
+		for _, name := range names {
+			f.Samples = append(f.Samples, metrics.Sample{
+				Labels: []metrics.Label{{Key: "child", Value: name}},
+				Value:  st.ByChild[name],
+			})
+		}
+		snap = append(snap, f)
+	}
+	return snap
 }
