@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -143,7 +144,11 @@ func validName(name string) bool {
 	return true
 }
 
-func (r *Registry) lookup(name, help string, k kind) *instrument {
+// lookup finds or registers the instrument for name. The instrument is
+// fully constructed (its c/g/h pointer set) before it becomes visible in
+// byKey/order, and only while holding r.mu, so concurrent registration
+// and Snapshot never observe a half-built entry.
+func (r *Registry) lookup(name, help string, k kind, bounds []int64) *instrument {
 	if !validName(name) {
 		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
 	}
@@ -153,48 +158,59 @@ func (r *Registry) lookup(name, help string, k kind) *instrument {
 		if in.kind != k {
 			panic(fmt.Sprintf("metrics: %q registered as %s, requested as %s", name, kindNames[in.kind], kindNames[k]))
 		}
+		if k == kindHistogram && !boundsEqual(in.h.bounds, bounds) {
+			panic(fmt.Sprintf("metrics: histogram %q re-registered with different bounds", name))
+		}
 		return in
 	}
 	in := &instrument{name: name, help: help, kind: k}
+	switch k {
+	case kindCounter:
+		in.c = &Counter{}
+	case kindGauge:
+		in.g = &Gauge{}
+	case kindHistogram:
+		in.h = &Histogram{bounds: append([]int64(nil), bounds...), buckets: make([]atomic.Int64, len(bounds))}
+	}
 	r.byKey[name] = in
 	r.order = append(r.order, in)
 	return in
 }
 
+func boundsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Counter returns the counter with the given name, registering it on
 // first use.
 func (r *Registry) Counter(name, help string) *Counter {
-	in := r.lookup(name, help, kindCounter)
-	if in.c == nil {
-		in.c = &Counter{}
-	}
-	return in.c
+	return r.lookup(name, help, kindCounter, nil).c
 }
 
 // Gauge returns the gauge with the given name, registering it on first
 // use.
 func (r *Registry) Gauge(name, help string) *Gauge {
-	in := r.lookup(name, help, kindGauge)
-	if in.g == nil {
-		in.g = &Gauge{}
-	}
-	return in.g
+	return r.lookup(name, help, kindGauge, nil).g
 }
 
 // Histogram returns the histogram with the given name, registering it
-// with the given ascending bucket bounds on first use (later calls
-// ignore bounds).
+// with the given ascending bucket bounds on first use. Later calls must
+// pass the same bounds; a mismatch panics.
 func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
 			panic(fmt.Sprintf("metrics: histogram %q bounds not ascending", name))
 		}
 	}
-	in := r.lookup(name, help, kindHistogram)
-	if in.h == nil {
-		in.h = &Histogram{bounds: append([]int64(nil), bounds...), buckets: make([]atomic.Int64, len(bounds))}
-	}
-	return in.h
+	return r.lookup(name, help, kindHistogram, bounds).h
 }
 
 // Label is one key="value" pair attached to a sample at render time.
@@ -257,9 +273,15 @@ func (r *Registry) Snapshot() Snapshot {
 	return snap
 }
 
+// labelEscaper rewrites exactly the characters the Prometheus text
+// format defines escapes for — backslash, double-quote and newline.
+// Anything else (tabs, control bytes, non-UTF-8) passes through
+// verbatim; Go's %q would emit \t and \xNN forms the format does not
+// define and standard scrapers reject.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
 // WritePrometheus renders the snapshot in the Prometheus text exposition
-// format (version 0.0.4). Label values are escaped with Go's %q, whose
-// handling of quote, backslash and newline matches the format's rules.
+// format (version 0.0.4).
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for _, f := range s {
 		if f.Help != "" {
@@ -297,7 +319,7 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 				if i == 0 {
 					sep = ""
 				}
-				if _, err := fmt.Fprintf(w, "%s%s=%q", sep, l.Key, l.Value); err != nil {
+				if _, err := fmt.Fprintf(w, "%s%s=\"%s\"", sep, l.Key, labelEscaper.Replace(l.Value)); err != nil {
 					return err
 				}
 			}

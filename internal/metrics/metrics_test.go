@@ -56,6 +56,10 @@ func TestPrometheusLabels(t *testing.T) {
 		Samples: []Sample{
 			{Labels: []Label{{Key: "child", Value: "w1"}}, Value: 7},
 			{Labels: []Label{{Key: "child", Value: `we"ird\name`}, {Key: "site", Value: "a"}}, Value: 1},
+			// Only \, " and newline have defined escapes in the text
+			// format; a tab or stray byte must pass through verbatim,
+			// not as Go-style \t or \xNN.
+			{Labels: []Label{{Key: "child", Value: "tab\there\nand\xffbyte"}}, Value: 2},
 		},
 	}}
 	var buf strings.Builder
@@ -65,6 +69,7 @@ func TestPrometheusLabels(t *testing.T) {
 	want := `# TYPE live_forwarded_by_child_total counter
 live_forwarded_by_child_total{child="w1"} 7
 live_forwarded_by_child_total{child="we\"ird\\name",site="a"} 1
+live_forwarded_by_child_total{child="tab	here\nand` + "\xff" + `byte"} 2
 `
 	if buf.String() != want {
 		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
@@ -109,6 +114,24 @@ func TestRegistryIdempotent(t *testing.T) {
 		}
 	}()
 	r.Gauge("x_total", "x")
+}
+
+// TestHistogramBoundsMismatchPanics: re-registering a histogram must
+// either reuse it (same bounds) or fail loudly (different bounds) —
+// never silently hand back an instrument with bounds the caller did not
+// ask for.
+func TestHistogramBoundsMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("h_steps", "", []int64{1, 10})
+	if b := r.Histogram("h_steps", "", []int64{1, 10}); a != b {
+		t.Fatalf("same-bounds re-registration returned a different histogram")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("bounds mismatch did not panic")
+		}
+	}()
+	r.Histogram("h_steps", "", []int64{1, 10, 100})
 }
 
 // TestInvalidNamePanics rejects names outside the Prometheus charset.
@@ -180,7 +203,7 @@ func TestConcurrentUpdates(t *testing.T) {
 	if got := r.Gauge("conc_peak", "").Value(); got != goroutines*perG-1 {
 		t.Fatalf("peak = %d, want %d", got, goroutines*perG-1)
 	}
-	if got := r.Histogram("conc_hist", "", nil).Count(); got != goroutines*perG {
+	if got := r.Histogram("conc_hist", "", []int64{10, 100}).Count(); got != goroutines*perG {
 		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
 	}
 }
