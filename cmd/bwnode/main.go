@@ -165,11 +165,11 @@ func run(args []string) error {
 // printRecovery reports the fault-tolerance counters when anything
 // actually went wrong (and recovered); a clean run prints nothing.
 func printRecovery(name string, s live.Stats) {
-	if s.Reconnects+s.Requeued+s.Resumed+s.HeartbeatMisses == 0 {
+	if s.Reconnects+s.Requeued+s.Resumed+s.HeartbeatMisses+s.ResultsReplayed+s.ResultsDeduped == 0 {
 		return
 	}
-	fmt.Printf("%s recovery: reconnects %d, requeued %d, resumed %d, heartbeat misses %d\n",
-		name, s.Reconnects, s.Requeued, s.Resumed, s.HeartbeatMisses)
+	fmt.Printf("%s recovery: reconnects %d, requeued %d (%d on revive), resumed %d, heartbeat misses %d, results replayed %d, deduped %d\n",
+		name, s.Reconnects, s.Requeued, s.RequeuedOnRevive, s.Resumed, s.HeartbeatMisses, s.ResultsReplayed, s.ResultsDeduped)
 }
 
 // hashCompute burns roughly d of CPU per task by re-hashing the payload,

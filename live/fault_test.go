@@ -79,6 +79,20 @@ func TestFaultPlanDecide(t *testing.T) {
 		}
 	})
 
+	t.Run("result ack frames are selectable", func(t *testing.T) {
+		p := NewFaultPlan(FaultRule{Dir: FaultRecv, Kind: FrameResultAck, Op: FaultDrop})
+		// The result itself must not trip a rule scoped to its ack.
+		if op, _ := p.decide(FaultRecv, "parent", FrameResult); op != faultNone {
+			t.Fatalf("FrameResultAck rule fired on a FrameResult")
+		}
+		if op, _ := p.decide(FaultSend, "parent", FrameResultAck); op != faultNone {
+			t.Fatalf("recv-scoped rule fired on a send")
+		}
+		if op, _ := p.decide(FaultRecv, "parent", FrameResultAck); op != FaultDrop {
+			t.Fatalf("rule did not fire on a received result ack")
+		}
+	})
+
 	t.Run("nil plan injects nothing", func(t *testing.T) {
 		var p *FaultPlan
 		if op, _ := p.decide(FaultSend, "a", FrameChunk); op != faultNone {

@@ -28,6 +28,7 @@ const (
 	FrameChunkAck  FrameKind = FrameKind(kindChunkAck)
 	FrameHelloAck  FrameKind = FrameKind(kindHelloAck)
 	FrameGoodbye   FrameKind = FrameKind(kindGoodbye)
+	FrameResultAck FrameKind = FrameKind(kindResultAck)
 )
 
 // FaultDir selects which side of the node's connection a rule watches.

@@ -32,12 +32,19 @@
 //     for a grace window (WithReconnectGrace) and then reclaims every
 //     task delivered into the dead subtree without a returned result,
 //     requeueing them for re-dispatch — the engine's DepartMutation
-//     semantics. Tasks execute at least once; the root deduplicates, so
+//     semantics. Tasks execute at least once; parents deduplicate, so
 //     results are delivered exactly once.
 //   - A disconnected non-root node re-dials its parent with capped
 //     exponential backoff (WithReconnect), resuming an interrupted
 //     transfer from the last acknowledged chunk and replaying results it
 //     computed while partitioned.
+//   - Results are acknowledged frames, not fire-and-forget: each node
+//     keeps every result it owes its parent in an unacked ledger,
+//     retired only by the parent's ack, replayed after a reconnect, and
+//     retransmitted on a lossy link (WithResultRetry). At revive time
+//     the parent requeues any outstanding task the child's hello no
+//     longer accounts for, so a result lost in a sever window costs a
+//     retransmission, never the run.
 //   - A deterministic fault-injection harness (FaultPlan, WithFaultPlan)
 //     drops, delays, or severs a named link at a scripted frame, so all
 //     of the above is testable in-process.
@@ -124,6 +131,11 @@ type Config struct {
 	// revivable before reclaiming its tasks; 0 means the default 5s,
 	// negative reclaims immediately.
 	ReconnectGrace time.Duration
+	// ResultRetry is how long an unacknowledged result may sit on a live
+	// uplink before it is retransmitted; 0 means the default 2s,
+	// negative disables retransmission (unacked results then replay only
+	// after a reconnect).
+	ResultRetry time.Duration
 	// Faults, when non-nil, is a deterministic fault-injection script
 	// consulted on every frame this node sends or receives.
 	Faults *FaultPlan
@@ -148,6 +160,12 @@ type Stats struct {
 	Requeued        int64 // tasks reclaimed from dead subtrees and requeued
 	Resumed         int64 // transfers resumed mid-payload after a child reconnected
 	HeartbeatMisses int64 // supervision intervals that passed with a silent link
+
+	// Result-path delivery counters.
+	ResultAcks       int64 // ledger entries retired by a parent's result ack
+	ResultsReplayed  int64 // unacked results retransmitted (reconnect replay or retry)
+	ResultsDeduped   int64 // duplicate results suppressed before relay/collection
+	RequeuedOnRevive int64 // tasks requeued by revive-time reconciliation (subset of Requeued)
 }
 
 // Node is a running overlay node.
@@ -156,21 +174,27 @@ type Node struct {
 	root     bool
 	listener net.Listener
 
-	mu             sync.Mutex
-	parent         *conn // current uplink; nil while disconnected (or root)
-	reqDeficit     int   // requests owed to the parent, accrued while disconnected
-	pendingResults []Result
-	children       []*childSession
-	buffer         []Task
-	results        chan Result // root only: collected results
-	inflight       map[uint64]*inTransfer
-	stats          Stats
-	status         *statusServer
-	closed         bool
-	err            error
+	mu         sync.Mutex
+	parent     *conn // current uplink; nil while disconnected (or root)
+	reqDeficit int   // requests owed to the parent, accrued while disconnected
+	// unacked is the result ledger: every result this node owes its
+	// parent, in arrival order, retired only by a matching result ack.
+	// The flusher goroutine is its sole sender, so wire order follows
+	// ledger order even across reconnects and retransmits.
+	unacked   []*resultEntry
+	computing map[uint64]bool // tasks on the compute port right now
+	children  []*childSession
+	buffer    []Task
+	results   chan Result // root only: collected results
+	inflight  map[uint64]*inTransfer
+	stats     Stats
+	status    *statusServer
+	closed    bool
+	err       error
 
 	kick     chan struct{} // wakes the send port
 	comp     chan struct{} // wakes the compute loop
+	resKick  chan struct{} // wakes the result flusher
 	done     chan struct{} // closed by Close
 	failed   chan struct{} // closed on the first fatal error
 	failOnce sync.Once
@@ -200,6 +224,16 @@ type outTransfer struct {
 	offset  int  // next byte to send
 	acked   int  // bytes the child confirmed receiving
 	sentAll bool // every byte written; awaiting the final ack
+}
+
+// resultEntry is one slot of the unacked-result ledger: a result owed to
+// the parent, keyed by task ID + origin. A successful write does not
+// retire it — only the parent's ack does — so a frame lost to a severed
+// or lossy link is replayed rather than silently dropped.
+type resultEntry struct {
+	res    Result
+	sentOn *conn     // uplink the entry was last written to; nil = never sent
+	sentAt time.Time // when it was last written, for the retransmit timer
 }
 
 // handshakeTimeout bounds the hello / hello-ack exchange.
@@ -278,18 +312,26 @@ func StartConfig(cfg Config) (*Node, error) {
 	case cfg.ReconnectGrace < 0:
 		cfg.ReconnectGrace = 0 // reclaim immediately
 	}
+	switch {
+	case cfg.ResultRetry == 0:
+		cfg.ResultRetry = 2 * time.Second
+	case cfg.ResultRetry < 0:
+		cfg.ResultRetry = 0 // retransmit only on reconnect
+	}
 	if cfg.sleep == nil {
 		cfg.sleep = realSleep
 	}
 
 	n := &Node{
-		cfg:      cfg,
-		root:     cfg.Parent == "",
-		inflight: make(map[uint64]*inTransfer),
-		kick:     make(chan struct{}, 1),
-		comp:     make(chan struct{}, 1),
-		done:     make(chan struct{}),
-		failed:   make(chan struct{}),
+		cfg:       cfg,
+		root:      cfg.Parent == "",
+		inflight:  make(map[uint64]*inTransfer),
+		computing: make(map[uint64]bool),
+		kick:      make(chan struct{}, 1),
+		comp:      make(chan struct{}, 1),
+		resKick:   make(chan struct{}, 1),
+		done:      make(chan struct{}),
+		failed:    make(chan struct{}),
 	}
 	n.stats.ByChild = make(map[string]int64)
 
@@ -309,8 +351,9 @@ func StartConfig(cfg Config) (*Node, error) {
 			n.Close()
 			return nil, err
 		}
-		n.wg.Add(1)
+		n.wg.Add(2)
 		go n.parentSupervisor()
+		go n.resultFlusher()
 	}
 
 	n.wg.Add(2)
@@ -616,6 +659,17 @@ func (n *Node) admitChild(c *conn, hello *message) {
 	for _, rp := range hello.Resume {
 		offered[rp.Task] = rp.Offset
 	}
+	// covered is every task the child's hello still accounts for: held
+	// somewhere in its subtree (Holding) or partially received and
+	// offered for resumption (Resume). An outstanding task outside this
+	// set was lost with the old connection.
+	covered := make(map[uint64]bool, len(hello.Holding)+len(hello.Resume))
+	for _, id := range hello.Holding {
+		covered[id] = true
+	}
+	for _, rp := range hello.Resume {
+		covered[rp.Task] = true
+	}
 	ack := &message{Kind: kindHelloAck}
 
 	n.mu.Lock()
@@ -635,25 +689,55 @@ func (n *Node) admitChild(c *conn, hello *message) {
 		ack.Revived = true
 		if tr := sess.active; tr != nil {
 			off, ok := offered[tr.task.ID]
-			if ok && off >= 0 && off <= len(tr.task.Payload) {
+			switch {
+			case ok && off >= 0 && off <= len(tr.task.Payload):
 				// Resume mid-payload from what the child confirmed.
 				tr.offset = off
 				tr.acked = off
 				tr.sentAll = false
 				ack.Accepted = append(ack.Accepted, tr.task.ID)
 				n.stats.Resumed++
-			} else {
-				// No partial state offered: retransmit from the top. A
-				// fully written transfer whose final ack never arrived
-				// looks exactly like one whose final chunk was lost in the
-				// disconnect — the child offers nothing either way — so
-				// re-delivery is the only safe choice; if the child did
-				// receive everything, the duplicate execution is absorbed
-				// by the root's dedup. At-least-once, never zero.
+			case covered[tr.task.ID]:
+				// The child holds the complete payload — only the final
+				// chunk ack was lost in the disconnect. Delivery stands:
+				// the task becomes the child's responsibility and its
+				// result is awaited, with no duplicate retransmission.
+				sess.outstanding[tr.task.ID] = tr.task
+				sess.active = nil
+			default:
+				// No partial state offered and the subtree does not hold
+				// the task: retransmit from the top. A fully written
+				// transfer whose final chunk was lost in the disconnect
+				// offers nothing, so re-delivery is the only safe choice.
+				// At-least-once, never zero.
 				tr.offset = 0
 				tr.acked = 0
 				tr.sentAll = false
 			}
+		}
+		// Revive-time reconciliation: requeue every outstanding task the
+		// hello no longer covers — not held in the subtree, not resuming,
+		// no unacked result to replay. It was lost with the old
+		// connection, and waiting for a grace expiry that perpetual
+		// revival keeps pushing out would stall the run forever.
+		var lost []uint64
+		for id := range sess.outstanding {
+			if !covered[id] {
+				lost = append(lost, id)
+			}
+		}
+		if len(lost) > 0 {
+			sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+			for _, id := range lost {
+				n.buffer = append(n.buffer, sess.outstanding[id])
+				delete(sess.outstanding, id)
+			}
+			n.stats.Requeued += int64(len(lost))
+			n.stats.RequeuedOnRevive += int64(len(lost))
+			if q := len(n.buffer); q > n.stats.MaxQueued {
+				n.stats.MaxQueued = q
+			}
+			n.wakeLocked()
 		}
 	} else {
 		sess = &childSession{name: hello.Name, c: c, outstanding: make(map[uint64]Task)}
@@ -693,10 +777,33 @@ func (n *Node) childLoop(s *childSession, c *conn) {
 			n.mu.Unlock()
 			n.wake(n.kick)
 		case kindResult:
+			// A result is expected exactly while its task is outstanding;
+			// anything else is a replay of one already relayed (or of a
+			// task reclaimed and re-dispatched elsewhere) — ack it so the
+			// child retires its ledger entry, but do not relay it again.
+			r := Result{ID: m.Task, Output: m.Output, Origin: m.Origin}
 			n.mu.Lock()
-			delete(s.outstanding, m.Task)
+			_, expected := s.outstanding[m.Task]
+			if expected {
+				delete(s.outstanding, m.Task)
+				if !n.root {
+					// Commit to this node's own ledger atomically with the
+					// outstanding delete, so a concurrent reconnect hello
+					// never catches the task accounted nowhere.
+					n.enqueueResultLocked(r)
+				}
+			} else {
+				n.stats.ResultsDeduped++
+			}
 			n.mu.Unlock()
-			n.deliverResult(Result{ID: m.Task, Output: m.Output, Origin: m.Origin})
+			if expected {
+				if n.root {
+					n.collectRoot(r)
+				} else {
+					n.wake(n.resKick)
+				}
+			}
+			_ = c.send(&message{Kind: kindResultAck, Task: m.Task, Origin: m.Origin})
 		case kindChunkAck:
 			n.mu.Lock()
 			if s.c == c && s.active != nil && s.active.task.ID == m.Task {
@@ -759,10 +866,11 @@ func (n *Node) connectParent() error {
 	for id, t := range n.inflight {
 		resume = append(resume, ResumePoint{Task: id, Offset: t.got})
 	}
+	holding := n.holdingLocked()
 	n.mu.Unlock()
 	sort.Slice(resume, func(i, j int) bool { return resume[i].Task < resume[j].Task })
 
-	if err := c.send(&message{Kind: kindHello, Name: n.cfg.Name, Resume: resume}); err != nil {
+	if err := c.send(&message{Kind: kindHello, Name: n.cfg.Name, Resume: resume, Holding: holding}); err != nil {
 		_ = c.close()
 		return fmt.Errorf("live: hello: %w", err)
 	}
@@ -803,8 +911,6 @@ func (n *Node) connectParent() error {
 		reqN = 0
 	}
 	n.reqDeficit = 0
-	flush := n.pendingResults
-	n.pendingResults = nil
 	if reqN > 0 {
 		n.stats.Requests += int64(reqN)
 	}
@@ -821,18 +927,46 @@ func (n *Node) connectParent() error {
 			n.mu.Unlock()
 		}
 	}
-	// Results computed while partitioned flow now; exactly-once delivery
-	// comes from the root's dedup, not from suppression here.
-	for i, r := range flush {
-		if err := c.send(&message{Kind: kindResult, Task: r.ID, Output: r.Output, Origin: r.Origin}); err != nil {
-			n.mu.Lock()
-			n.pendingResults = append(n.pendingResults, flush[i:]...)
-			n.mu.Unlock()
-			break
-		}
-	}
+	// Wake the flusher: every ledger entry — results computed while
+	// partitioned and ones written to the old conn but never acked —
+	// replays on the new link, in arrival order.
+	n.wake(n.resKick)
 	n.superviseConn(c)
 	return nil
+}
+
+// holdingLocked enumerates every task ID this node's subtree still
+// accounts for: buffered, on the compute port, handed to the send port,
+// delivered into a child subtree without a returned result, or computed
+// with the result awaiting an ack. The reconnect hello carries the set
+// so the parent can requeue outstanding tasks the subtree lost
+// (revive-time reconciliation). Partially received transfers are
+// conveyed separately as Resume points. Callers hold n.mu.
+func (n *Node) holdingLocked() []uint64 {
+	set := make(map[uint64]bool, len(n.buffer)+len(n.unacked)+len(n.computing))
+	for _, t := range n.buffer {
+		set[t.ID] = true
+	}
+	for id := range n.computing {
+		set[id] = true
+	}
+	for _, s := range n.children {
+		if s.active != nil {
+			set[s.active.task.ID] = true
+		}
+		for id := range s.outstanding {
+			set[id] = true
+		}
+	}
+	for _, e := range n.unacked {
+		set[e.res.ID] = true
+	}
+	ids := make([]uint64, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // parentSupervisor owns the uplink: it runs the read loop and, when the
@@ -922,6 +1056,11 @@ func (n *Node) readParent(c *conn) (shutdown bool) {
 				n.wake(n.comp)
 				n.wake(n.kick)
 			}
+		case kindResultAck:
+			n.mu.Lock()
+			n.retireResultLocked(m.Task, m.Origin)
+			n.mu.Unlock()
+			n.wake(n.resKick) // the retry timer may now rest or re-aim
 		case kindShutdown:
 			return true
 		case kindHeartbeat, kindHelloAck:
@@ -945,29 +1084,166 @@ func (n *Node) inflightFor(id uint64) (*inTransfer, bool) {
 	return t, true
 }
 
-// deliverResult hands a result to the local collector (root) or relays it
-// to the parent; while the uplink is down results queue and replay after
-// the reconnect handshake.
+// deliverResult hands a result to the local collector (root) or commits
+// it to the unacked-result ledger for the flusher to send. Every uplink
+// result routes through the ledger — there is no direct send path — so a
+// frame lost to a just-severed conn (the old read-parent-then-send
+// TOCTOU window), a scripted drop, or a disconnect is always replayed:
+// only the parent's ack retires an entry.
 func (n *Node) deliverResult(r Result) {
 	if n.root {
-		select {
-		case n.results <- r:
-		case <-n.done:
-		}
+		n.collectRoot(r)
 		return
 	}
 	n.mu.Lock()
-	c := n.parent
-	if c == nil {
-		n.pendingResults = append(n.pendingResults, r)
-		n.mu.Unlock()
-		return
-	}
+	n.enqueueResultLocked(r)
 	n.mu.Unlock()
-	if err := c.send(&message{Kind: kindResult, Task: r.ID, Output: r.Output, Origin: r.Origin}); err != nil && !n.isClosed() {
-		n.mu.Lock()
-		n.pendingResults = append(n.pendingResults, r)
-		n.mu.Unlock()
+	n.wake(n.resKick)
+}
+
+// collectRoot hands a result to the root's Run loop.
+func (n *Node) collectRoot(r Result) {
+	select {
+	case n.results <- r:
+	case <-n.done:
+	}
+}
+
+// enqueueResultLocked appends a result to the unacked ledger unless an
+// entry with the same task ID + origin is already pending (a duplicate
+// from a re-delivered task; it would be deduplicated upstream anyway).
+// Callers hold n.mu.
+func (n *Node) enqueueResultLocked(r Result) {
+	for _, e := range n.unacked {
+		if e.res.ID == r.ID && e.res.Origin == r.Origin {
+			n.stats.ResultsDeduped++
+			return
+		}
+	}
+	n.unacked = append(n.unacked, &resultEntry{res: r})
+}
+
+// resultFlusher is the sole sender of result frames on the uplink. It
+// walks the ledger in arrival order, (re)sending every entry not yet
+// written to the current parent conn — which after a reconnect replays
+// all outstanding results — and, on a live link, retransmitting entries
+// unacked past the ResultRetry deadline. Single-sender FIFO means replay
+// order always matches arrival order, with no re-append races.
+func (n *Node) resultFlusher() {
+	defer n.wg.Done()
+	for {
+		e, c, replay := n.nextResultSend()
+		if e == nil {
+			var timerC <-chan time.Time
+			var timer *time.Timer
+			if d := n.resultRetryWait(); d > 0 {
+				timer = time.NewTimer(d)
+				timerC = timer.C
+			}
+			select {
+			case <-n.resKick:
+			case <-timerC:
+			case <-n.done:
+				if timer != nil {
+					timer.Stop()
+				}
+				return
+			}
+			if timer != nil {
+				timer.Stop()
+			}
+			continue
+		}
+		if replay {
+			n.mu.Lock()
+			n.stats.ResultsReplayed++
+			n.mu.Unlock()
+		}
+		err := c.send(&message{Kind: kindResult, Task: e.res.ID, Output: e.res.Output, Origin: e.res.Origin})
+		if err == nil {
+			n.mu.Lock()
+			e.sentOn = c
+			e.sentAt = time.Now()
+			n.mu.Unlock()
+		} else if !n.isClosed() {
+			// Dead uplink: the supervisor will reconnect and wake us; the
+			// entry stays in the ledger untouched.
+			select {
+			case <-n.resKick:
+			case <-n.done:
+				return
+			}
+		}
+		if n.isClosed() {
+			return
+		}
+	}
+}
+
+// nextResultSend picks the first ledger entry due on the wire: one never
+// written to the current uplink (first send, or replay after a
+// reconnect), else — when retransmission is enabled — the first entry
+// unacked past the retry deadline. The replay flag reports whether this
+// is a retransmission of a previously written entry.
+func (n *Node) nextResultSend() (e *resultEntry, c *conn, replay bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c = n.parent
+	if c == nil || len(n.unacked) == 0 {
+		return nil, nil, false
+	}
+	for _, e := range n.unacked {
+		if e.sentOn != c {
+			return e, c, e.sentOn != nil
+		}
+	}
+	if retry := n.cfg.ResultRetry; retry > 0 {
+		for _, e := range n.unacked {
+			if time.Since(e.sentAt) >= retry {
+				return e, c, true
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// resultRetryWait reports how long the flusher may sleep before the
+// earliest-sent unacked entry hits its retransmit deadline; 0 means no
+// timer is needed (retry disabled, link down, or ledger empty).
+func (n *Node) resultRetryWait() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	retry := n.cfg.ResultRetry
+	if retry <= 0 || n.parent == nil || len(n.unacked) == 0 {
+		return 0
+	}
+	earliest := time.Duration(-1)
+	for _, e := range n.unacked {
+		if e.sentAt.IsZero() {
+			continue
+		}
+		if d := retry - time.Since(e.sentAt); earliest < 0 || d < earliest {
+			earliest = d
+		}
+	}
+	if earliest < 0 {
+		return 0
+	}
+	if earliest < time.Millisecond {
+		earliest = time.Millisecond
+	}
+	return earliest
+}
+
+// retireResultLocked removes the ledger entry matching an ack; callers
+// hold n.mu.
+func (n *Node) retireResultLocked(task uint64, origin string) {
+	for i, e := range n.unacked {
+		if e.res.ID == task && e.res.Origin == origin {
+			n.unacked = append(n.unacked[:i], n.unacked[i+1:]...)
+			n.stats.ResultAcks++
+			return
+		}
 	}
 }
 
@@ -999,6 +1275,7 @@ func (n *Node) takeTask() (Task, bool) {
 	}
 	t := n.buffer[0]
 	n.buffer = n.buffer[1:]
+	n.computing[t.ID] = true // accounted until the result enters the ledger
 	if !n.root {
 		n.stats.Requests++
 	}
@@ -1031,6 +1308,11 @@ func (n *Node) computeLoop() {
 		n.stats.Computed++
 		n.mu.Unlock()
 		n.deliverResult(Result{ID: t.ID, Output: out, Origin: n.cfg.Name})
+		// Cleared only after deliverResult committed the result to the
+		// ledger, so a reconnect hello always accounts for the task.
+		n.mu.Lock()
+		delete(n.computing, t.ID)
+		n.mu.Unlock()
 		if n.isClosed() {
 			return
 		}

@@ -68,18 +68,22 @@ func TestMetricsEndpointMatchesStats(t *testing.T) {
 	got := scrape(t, "http://"+addr+"/metrics")
 
 	want := map[string]int64{
-		"live_tasks_computed_total":    st.Computed,
-		"live_tasks_forwarded_total":   st.Forwarded,
-		"live_tasks_received_total":    st.Received,
-		"live_requests_sent_total":     st.Requests,
-		"live_send_interrupts_total":   st.Interrupts,
-		"live_reconnects_total":        st.Reconnects,
-		"live_tasks_requeued_total":    st.Requeued,
-		"live_transfers_resumed_total": st.Resumed,
-		"live_heartbeat_misses_total":  st.HeartbeatMisses,
-		"live_queued_peak":             int64(st.MaxQueued),
-		"live_connected":               1, // the root is always connected
-		"live_children":                2,
+		"live_tasks_computed_total":           st.Computed,
+		"live_tasks_forwarded_total":          st.Forwarded,
+		"live_tasks_received_total":           st.Received,
+		"live_requests_sent_total":            st.Requests,
+		"live_send_interrupts_total":          st.Interrupts,
+		"live_reconnects_total":               st.Reconnects,
+		"live_tasks_requeued_total":           st.Requeued,
+		"live_transfers_resumed_total":        st.Resumed,
+		"live_heartbeat_misses_total":         st.HeartbeatMisses,
+		"live_result_acks_total":              st.ResultAcks,
+		"live_results_replayed_total":         st.ResultsReplayed,
+		"live_results_deduped_total":          st.ResultsDeduped,
+		"live_tasks_requeued_on_revive_total": st.RequeuedOnRevive,
+		"live_queued_peak":                    int64(st.MaxQueued),
+		"live_connected":                      1, // the root is always connected
+		"live_children":                       2,
 	}
 	for name, v := range want {
 		g, ok := got[name]

@@ -93,6 +93,15 @@ func WithReconnectGrace(d time.Duration) Option {
 	return func(c *Config) { c.ReconnectGrace = d }
 }
 
+// WithResultRetry sets how long a result may sit unacknowledged on a
+// live uplink before the ledger retransmits it; default 2s. Negative
+// disables retransmission — unacked results then replay only after a
+// reconnect. Duplicates either way are suppressed by the parent's
+// dedupe, so delivery stays exactly-once.
+func WithResultRetry(d time.Duration) Option {
+	return func(c *Config) { c.ResultRetry = d }
+}
+
 // WithFaultPlan installs a deterministic fault-injection script consulted
 // on every frame this node sends or receives; default none. See
 // FaultPlan.

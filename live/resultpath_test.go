@@ -1,0 +1,392 @@
+package live
+
+// Tests for exactly-once result delivery: the unacked-result ledger and
+// its ack-retire/replay/retry machinery, parent-side dedupe, and
+// revive-time reconciliation. The headline scenarios pin the ROADMAP
+// stall — a result frame lost in a sever window used to hang Run forever
+// because the perpetually revived session never hit the grace-expiry
+// requeue.
+
+import (
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+)
+
+// assertExactlyOnce checks a completed run delivered every task ID in
+// [1, n] exactly once.
+func assertExactlyOnce(t *testing.T, results []Result, n int) {
+	t.Helper()
+	if len(results) != n {
+		t.Fatalf("results = %d, want %d", len(results), n)
+	}
+	seen := make(map[uint64]bool, n)
+	for _, r := range results {
+		if seen[r.ID] {
+			t.Fatalf("task %d delivered twice", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	for id := uint64(1); id <= uint64(n); id++ {
+		if !seen[id] {
+			t.Fatalf("task %d never delivered", id)
+		}
+	}
+}
+
+// TestResultDropInSeverWindowCompletes is the acceptance scenario for the
+// acked result path: one result frame is silently dropped (the send
+// "succeeds", so before the ledger the result was gone for good) and a
+// later result send severs the uplink. Retransmission is disabled, so
+// only the reconnect replay can recover the dropped frame — the run must
+// complete with every result exactly once instead of hanging.
+func TestResultDropInSeverWindowCompletes(t *testing.T) {
+	const tasks = 30
+	plan := NewFaultPlan(
+		FaultRule{Link: "parent", Dir: FaultSend, Kind: FrameResult, After: 2, Op: FaultDrop},
+		FaultRule{Link: "parent", Dir: FaultSend, Kind: FrameResult, After: 4, Op: FaultSever},
+	)
+	root := startNode(t, Config{
+		Name: "root", Listen: "127.0.0.1:0", Buffers: 3,
+		Compute:        echoCompute(20 * time.Millisecond),
+		ReconnectGrace: 10 * time.Second, // the session must revive, not reclaim
+	})
+	w := startNode(t, Config{
+		Name: "w", Parent: root.Addr(), Buffers: 3,
+		Compute:       echoCompute(2 * time.Millisecond),
+		Faults:        plan,
+		ReconnectBase: 20 * time.Millisecond, ReconnectCap: 100 * time.Millisecond, ReconnectAttempts: 20,
+		ResultRetry: -1, // pin the replay path: no retry timer to the rescue
+	})
+
+	results, err := root.RunTimeout(makeTasks(tasks, 512), 60*time.Second)
+	if err != nil {
+		t.Fatalf("Run across the dropped result: %v", err)
+	}
+	assertExactlyOnce(t, results, tasks)
+	if plan.Pending() != 0 {
+		t.Fatalf("the scripted faults never fired: %d pending", plan.Pending())
+	}
+	// The dropped frame was "successfully" written, so its redelivery on
+	// the new conn is a replay (the severed frame never made it onto the
+	// wire and re-sends as a first transmission).
+	if got := w.Stats().ResultsReplayed; got == 0 {
+		t.Fatalf("the dropped result was never replayed")
+	}
+	if got := w.Stats().Reconnects; got == 0 {
+		t.Fatalf("worker never reconnected")
+	}
+}
+
+// TestRoadmapStallRepro pins the exact configuration the ROADMAP stall
+// was reproduced under: asymmetric heartbeats (root supervising at
+// 100ms, children at the 1s default) with the uplink severed while the
+// child is sending — and, after the first reconnect, replaying —
+// results. Before the acked ledger, a result frame swallowed by a sever
+// window was never requeued (the session kept reviving, so grace expiry
+// never fired) and Run hung forever.
+func TestRoadmapStallRepro(t *testing.T) {
+	const tasks = 40
+	plan := NewFaultPlan(
+		FaultRule{Link: "parent", Dir: FaultSend, Kind: FrameResult, After: 3, Op: FaultSever},
+		FaultRule{Link: "parent", Dir: FaultSend, Kind: FrameResult, After: 6, Op: FaultSever},
+	)
+	root := startNode(t, Config{
+		Name: "root", Listen: "127.0.0.1:0", Buffers: 3,
+		Compute:           echoCompute(15 * time.Millisecond),
+		HeartbeatInterval: 100 * time.Millisecond, // the ROADMAP repro's aggressive root
+	})
+	w := startNode(t, Config{
+		Name: "w", Parent: root.Addr(), Buffers: 3,
+		Compute: echoCompute(5 * time.Millisecond),
+		// HeartbeatInterval left zero: the 1s default, per the repro.
+		Faults:        plan,
+		ReconnectBase: 20 * time.Millisecond, ReconnectCap: 100 * time.Millisecond, ReconnectAttempts: 20,
+	})
+
+	results, err := root.RunTimeout(makeTasks(tasks, 256), 60*time.Second)
+	if err != nil {
+		t.Fatalf("Run across the sever-while-replaying window: %v", err)
+	}
+	assertExactlyOnce(t, results, tasks)
+	if plan.Pending() != 0 {
+		t.Fatalf("the scripted severs never fired: %d pending", plan.Pending())
+	}
+	ws := w.Stats()
+	if ws.Reconnects == 0 {
+		t.Fatalf("worker never reconnected")
+	}
+	if ws.ResultsReplayed == 0 {
+		t.Fatalf("no results replayed across the severs: %+v", ws)
+	}
+}
+
+// TestResultRetryRecoversPureDrop: a result frame lost on a link that
+// stays up (no sever, so no reconnect replay) must be retransmitted by
+// the retry timer. Before the ledger this was an unconditional hang.
+func TestResultRetryRecoversPureDrop(t *testing.T) {
+	const tasks = 20
+	plan := NewFaultPlan(FaultRule{
+		Link: "parent", Dir: FaultSend, Kind: FrameResult, After: 3, Op: FaultDrop,
+	})
+	root := startNode(t, Config{
+		Name: "root", Listen: "127.0.0.1:0", Buffers: 3,
+		Compute: echoCompute(10 * time.Millisecond),
+	})
+	w := startNode(t, Config{
+		Name: "w", Parent: root.Addr(), Buffers: 3,
+		Compute:     echoCompute(2 * time.Millisecond),
+		Faults:      plan,
+		ResultRetry: 50 * time.Millisecond,
+	})
+
+	results, err := root.RunTimeout(makeTasks(tasks, 256), 60*time.Second)
+	if err != nil {
+		t.Fatalf("Run across the dropped result: %v", err)
+	}
+	assertExactlyOnce(t, results, tasks)
+	if plan.Pending() != 0 {
+		t.Fatalf("the scripted drop never fired")
+	}
+	if got := w.Stats().ResultsReplayed; got == 0 {
+		t.Fatalf("the dropped result was never retransmitted")
+	}
+	if got := w.Stats().Reconnects; got != 0 {
+		t.Fatalf("retry path must not need a reconnect, saw %d", got)
+	}
+}
+
+// TestResultAcksRetireLedger: on a healthy link every delivered result
+// is acked and the ledger drains to empty — and a clean run dedupes
+// nothing.
+func TestResultAcksRetireLedger(t *testing.T) {
+	const tasks = 20
+	root := startNode(t, Config{
+		Name: "root", Listen: "127.0.0.1:0", Buffers: 2,
+		Compute: echoCompute(5 * time.Millisecond),
+	})
+	w := startNode(t, Config{
+		Name: "w", Parent: root.Addr(), Buffers: 2,
+		Compute: echoCompute(time.Millisecond),
+	})
+	results, err := root.RunTimeout(makeTasks(tasks, 128), 30*time.Second)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	assertExactlyOnce(t, results, tasks)
+
+	// Acks race Run's completion; the ledger must drain shortly after.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		w.mu.Lock()
+		left := len(w.unacked)
+		w.mu.Unlock()
+		if left == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ledger never drained: %d entries unacked", left)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ws := w.Stats()
+	if ws.ResultAcks != ws.Computed || ws.Computed == 0 {
+		t.Fatalf("ResultAcks = %d, want one per computed task (%d)", ws.ResultAcks, ws.Computed)
+	}
+	if got := root.Stats().ResultsDeduped; got != 0 {
+		t.Fatalf("clean run deduped %d results", got)
+	}
+}
+
+// TestReviveReconciliationRequeues drives a scripted child over raw gob:
+// it takes one task end to end (final chunk acked, so the root holds it
+// outstanding), dies without computing it, and revives within the grace
+// window holding nothing. The root must requeue the task at revive time
+// — the hello covers nothing — and account it in both Requeued and
+// RequeuedOnRevive exactly once, with no later grace-expiry double
+// count.
+func TestReviveReconciliationRequeues(t *testing.T) {
+	const tasks = 8
+	root := startNode(t, Config{
+		Name: "root", Listen: "127.0.0.1:0", Buffers: 3,
+		Compute:           echoCompute(25 * time.Millisecond),
+		HeartbeatInterval: -1, // the scripted child sends no heartbeats
+	})
+
+	type taken struct {
+		id  uint64
+		err error
+	}
+	tookc := make(chan taken, 1)
+	go func() {
+		raw, err := net.Dial("tcp", root.Addr())
+		if err != nil {
+			tookc <- taken{err: err}
+			return
+		}
+		defer raw.Close()
+		enc, dec := gob.NewEncoder(raw), gob.NewDecoder(raw)
+		if err := enc.Encode(&message{Kind: kindHello, Name: "fake"}); err != nil {
+			tookc <- taken{err: err}
+			return
+		}
+		var ack message
+		if err := dec.Decode(&ack); err != nil {
+			tookc <- taken{err: err}
+			return
+		}
+		if err := enc.Encode(&message{Kind: kindRequest, N: 1}); err != nil {
+			tookc <- taken{err: err}
+			return
+		}
+		for {
+			var m message
+			if err := dec.Decode(&m); err != nil {
+				tookc <- taken{err: err}
+				return
+			}
+			if m.Kind != kindChunk {
+				continue
+			}
+			if err := enc.Encode(&message{Kind: kindChunkAck, Task: m.Task, Offset: m.Offset + len(m.Data), Last: m.Last}); err != nil {
+				tookc <- taken{err: err}
+				return
+			}
+			if m.Last {
+				tookc <- taken{id: m.Task}
+				return // the deferred close severs the link with the task swallowed
+			}
+		}
+	}()
+
+	resc := make(chan []Result, 1)
+	errc := make(chan error, 1)
+	go func() {
+		results, err := root.RunTimeout(makeTasks(tasks, 128), 60*time.Second)
+		resc <- results
+		errc <- err
+	}()
+
+	took := <-tookc
+	if took.err != nil {
+		t.Fatalf("scripted child: %v", took.err)
+	}
+
+	// Wait for the root to notice the dead link, so the reconnect below
+	// revives the session instead of opening a second one.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		root.mu.Lock()
+		gone := false
+		for _, s := range root.children {
+			if s.name == "fake" && s.gone {
+				gone = true
+			}
+		}
+		root.mu.Unlock()
+		if gone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("root never marked the scripted child gone")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Revive with an empty hello: no Resume, no Holding — the swallowed
+	// task is accounted nowhere and must be requeued right now.
+	raw2, err := net.Dial("tcp", root.Addr())
+	if err != nil {
+		t.Fatalf("re-dial: %v", err)
+	}
+	defer raw2.Close()
+	enc2, dec2 := gob.NewEncoder(raw2), gob.NewDecoder(raw2)
+	if err := enc2.Encode(&message{Kind: kindHello, Name: "fake"}); err != nil {
+		t.Fatalf("revive hello: %v", err)
+	}
+	var ack2 message
+	if err := dec2.Decode(&ack2); err != nil {
+		t.Fatalf("revive hello ack: %v", err)
+	}
+	if !ack2.Revived {
+		t.Fatalf("session was not revived")
+	}
+	go func() { // drain so the root's writes never block
+		for {
+			var m message
+			if dec2.Decode(&m) != nil {
+				return
+			}
+		}
+	}()
+
+	results := <-resc
+	if err := <-errc; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	assertExactlyOnce(t, results, tasks)
+
+	s := root.Stats()
+	if s.RequeuedOnRevive != 1 {
+		t.Fatalf("RequeuedOnRevive = %d, want 1 (the swallowed task %d)", s.RequeuedOnRevive, took.id)
+	}
+	if s.Requeued != 1 {
+		t.Fatalf("Requeued = %d, want 1 — revive-time reconciliation must not double-count with grace expiry", s.Requeued)
+	}
+}
+
+// TestResultLedgerOrderAndRetire unit-tests the ledger scheduler: after
+// a reconnect, entries written to the old conn and entries queued while
+// disconnected are sent strictly in arrival order (the old flush used to
+// re-append an unflushed tail AFTER concurrently queued results,
+// breaking FIFO), and acks retire exactly the keyed entry.
+func TestResultLedgerOrderAndRetire(t *testing.T) {
+	n := &Node{}
+	oldC, newC := &conn{}, &conn{}
+	n.parent = newC
+	mk := func(id uint64, sent *conn) *resultEntry {
+		e := &resultEntry{res: Result{ID: id, Origin: "w"}, sentOn: sent}
+		if sent != nil {
+			e.sentAt = time.Now()
+		}
+		return e
+	}
+	// Arrival order: 1 (sent on the old link), 2 (queued while down),
+	// 3 (sent on the old link) — a replay interleaved with fresh sends.
+	n.unacked = []*resultEntry{mk(1, oldC), mk(2, nil), mk(3, oldC)}
+
+	wantOrder := []struct {
+		id     uint64
+		replay bool
+	}{{1, true}, {2, false}, {3, true}}
+	for i, want := range wantOrder {
+		e, c, replay := n.nextResultSend()
+		if e == nil || c != newC {
+			t.Fatalf("step %d: no entry scheduled", i)
+		}
+		if e.res.ID != want.id || replay != want.replay {
+			t.Fatalf("step %d: scheduled task %d (replay=%v), want %d (replay=%v)",
+				i, e.res.ID, replay, want.id, want.replay)
+		}
+		e.sentOn = newC
+		e.sentAt = time.Now()
+	}
+	if e, _, _ := n.nextResultSend(); e != nil {
+		t.Fatalf("entry %d scheduled with everything sent and retry disabled", e.res.ID)
+	}
+
+	n.retireResultLocked(2, "x") // wrong origin: not our entry
+	if len(n.unacked) != 3 {
+		t.Fatalf("mismatched origin retired an entry")
+	}
+	n.retireResultLocked(2, "w")
+	if len(n.unacked) != 2 || n.stats.ResultAcks != 1 {
+		t.Fatalf("ack did not retire the keyed entry: %d left, %d acks", len(n.unacked), n.stats.ResultAcks)
+	}
+	for _, e := range n.unacked {
+		if e.res.ID == 2 {
+			t.Fatalf("retired entry still in the ledger")
+		}
+	}
+}

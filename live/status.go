@@ -159,6 +159,10 @@ func metricsSnapshot(st Stats, buffered, connected, children int64, uptime time.
 		counter("live_tasks_requeued_total", "tasks reclaimed from dead subtrees and requeued", st.Requeued),
 		counter("live_transfers_resumed_total", "transfers resumed mid-payload after a child reconnected", st.Resumed),
 		counter("live_heartbeat_misses_total", "supervision intervals that passed with a silent link", st.HeartbeatMisses),
+		counter("live_result_acks_total", "unacked-ledger entries retired by a parent's result ack", st.ResultAcks),
+		counter("live_results_replayed_total", "unacked results retransmitted (reconnect replay or retry)", st.ResultsReplayed),
+		counter("live_results_deduped_total", "duplicate results suppressed before relay or collection", st.ResultsDeduped),
+		counter("live_tasks_requeued_on_revive_total", "tasks requeued by revive-time reconciliation", st.RequeuedOnRevive),
 		gauge("live_buffered_tasks", "tasks currently buffered", buffered),
 		gauge("live_queued_peak", "most tasks simultaneously buffered", int64(st.MaxQueued)),
 		gauge("live_connected", "whether the uplink is established (always 1 at the root)", connected),

@@ -44,6 +44,13 @@ const (
 	// the parent reclaims the subtree's tasks immediately instead of
 	// waiting out the reconnect grace window.
 	kindGoodbye
+	// kindResultAck confirms receipt of a result (parent → child), keyed
+	// by task ID + origin. The child retires the matching entry of its
+	// unacked-result ledger; an unacked result is replayed after a
+	// reconnect and retransmitted on a live-but-lossy link, so the
+	// result path is at-least-once in transport and — because the
+	// parent deduplicates before relay — exactly-once in collection.
+	kindResultAck
 )
 
 // ResumePoint names a partially received transfer offered for resumption
@@ -62,6 +69,13 @@ type message struct {
 	// Hello.
 	Name   string
 	Resume []ResumePoint
+	// Holding lists every task ID the reconnecting child's subtree still
+	// accounts for — buffered, computing, forwarded onward, or computed
+	// with the result awaiting an ack. The parent requeues any
+	// outstanding task the hello does not cover (revive-time
+	// reconciliation); partially received transfers are conveyed
+	// separately as Resume points.
+	Holding []uint64
 
 	// HelloAck.
 	Revived  bool
@@ -78,7 +92,8 @@ type message struct {
 	Data   []byte
 	Last   bool
 
-	// Result.
+	// Result. A ResultAck echoes the result's Task and Origin, matching
+	// the sender's ledger key.
 	Output []byte
 	Origin string // name of the node that computed the task
 }

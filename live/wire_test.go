@@ -1,9 +1,66 @@
 package live
 
 import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
 	"testing"
 	"time"
 )
+
+// TestWireKindValuesStable pins the numeric value of every frame kind:
+// the values are the wire protocol, and reordering the const block would
+// silently break mixed-version overlays and recorded fault plans.
+func TestWireKindValuesStable(t *testing.T) {
+	want := map[msgKind]uint8{
+		kindHello:     1,
+		kindRequest:   2,
+		kindChunk:     3,
+		kindResult:    4,
+		kindShutdown:  5,
+		kindHeartbeat: 6,
+		kindChunkAck:  7,
+		kindHelloAck:  8,
+		kindGoodbye:   9,
+		kindResultAck: 10,
+	}
+	for k, v := range want {
+		if uint8(k) != v {
+			t.Errorf("kind %d renumbered: want %d", k, v)
+		}
+	}
+	if FrameResultAck != FrameKind(kindResultAck) {
+		t.Errorf("FrameResultAck = %d, want %d", FrameResultAck, kindResultAck)
+	}
+}
+
+// TestResultAckRoundTrip runs the result-ack frame and a Holding-carrying
+// hello through the real gob codec: the ack must preserve its ledger key
+// (task ID + origin), the hello its reconciliation set.
+func TestResultAckRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc, dec := gob.NewEncoder(&buf), gob.NewDecoder(&buf)
+	sent := []*message{
+		{Kind: kindResultAck, Task: 42, Origin: "leaf-7"},
+		{Kind: kindHello, Name: "mid", Holding: []uint64{3, 9, 12},
+			Resume: []ResumePoint{{Task: 5, Offset: 1024}}},
+		{Kind: kindResult, Task: 42, Output: []byte{1, 2, 3}, Origin: "leaf-7"},
+	}
+	for i, m := range sent {
+		if err := enc.Encode(m); err != nil {
+			t.Fatalf("encode %d: %v", i, err)
+		}
+	}
+	for i, want := range sent {
+		var got message
+		if err := dec.Decode(&got); err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(&got, want) {
+			t.Errorf("frame %d round-tripped to %+v, want %+v", i, got, *want)
+		}
+	}
+}
 
 func TestInTransferAssembly(t *testing.T) {
 	tr := &inTransfer{id: 1}
