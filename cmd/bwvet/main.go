@@ -1,0 +1,89 @@
+// Command bwvet runs the repo-invariant analyzer suite (internal/lint)
+// over this module: simulation determinism, wire-protocol exhaustiveness,
+// lock discipline, atomic/plain access mixing, and context plumbing.
+//
+// Usage:
+//
+//	go run ./cmd/bwvet ./...
+//	go run ./cmd/bwvet -list
+//	go run ./cmd/bwvet ./live/... ./internal/...
+//
+// Exit status is 0 when the tree is clean, 1 when any analyzer reports a
+// finding, 2 on load or type-check failure. Suppress a deliberate
+// violation with a reasoned marker on (or directly above) the line:
+//
+//	//lint:bwvet-ignore <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bwcs/internal/lint"
+	"bwcs/internal/lint/loader"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bwvet [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	l, err := loader.New(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	paths, err := l.Expand(cwd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	if len(paths) == 0 {
+		fatal(fmt.Errorf("no packages match %v", patterns))
+	}
+
+	findings := 0
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		diags, err := lint.Check(pkg, lint.Analyzers)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "bwvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bwvet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"bwcs/internal/lint/analysis"
+)
+
+// AtomicMix flags struct fields that are accessed through sync/atomic in
+// one place and by plain read/write in another — the PR 2 metrics-registry
+// race was exactly this family: an atomically published pointer read bare
+// on another goroutine. A field is either always atomic or always guarded;
+// mixing the two silently loses the happens-before edge.
+//
+// Fields of the typed atomic wrappers (atomic.Int64 and friends) are
+// inherently safe and out of scope. Composite-literal keys are not
+// counted as plain accesses: zero-initialization before publication is
+// the sanctioned construction pattern.
+var AtomicMix = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "flag struct fields accessed both via sync/atomic and by plain " +
+		"read/write",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(pass *analysis.Pass) error {
+	atomicFields := make(map[types.Object]token.Pos) // field -> one atomic site
+	inAtomicArg := make(map[*ast.SelectorExpr]bool)
+	literalKeys := make(map[*ast.Ident]bool)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !isAtomicCall(pass, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || u.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if obj := fieldObject(pass, sel); obj != nil {
+						if _, seen := atomicFields[obj]; !seen {
+							atomicFields[obj] = sel.Pos()
+						}
+						inAtomicArg[sel] = true
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							literalKeys[id] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	type finding struct {
+		pos   token.Pos
+		field string
+	}
+	var plain []finding
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicArg[sel] {
+				return true
+			}
+			obj := fieldObject(pass, sel)
+			if obj == nil {
+				return true
+			}
+			if _, isAtomic := atomicFields[obj]; isAtomic && !literalKeys[sel.Sel] {
+				plain = append(plain, finding{sel.Pos(), obj.Name()})
+			}
+			return true
+		})
+	}
+	sort.Slice(plain, func(i, j int) bool { return plain[i].pos < plain[j].pos })
+	for _, p := range plain {
+		pass.Reportf(p.pos, "field %q is accessed via sync/atomic elsewhere but plainly here: pick one regime, or the atomic ordering is lost", p.field)
+	}
+	return nil
+}
+
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldObject resolves a selector to the struct field it names, or nil.
+func fieldObject(pass *analysis.Pass, sel *ast.SelectorExpr) types.Object {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bwcs/internal/lint/analysis"
+)
+
+// CtxFlow checks context plumbing in the public API surface (the bwcs
+// root package and live): an exported function that accepts a
+// context.Context must actually thread it — the parameter may not be
+// ignored, and the body may not mint a fresh context.Background() or
+// context.TODO() (which would detach callees from the caller's deadline
+// and cancellation). The one sanctioned Background use is the nil-guard
+// that assigns to the parameter itself (if ctx == nil { ctx = ... }).
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "exported functions taking a context.Context must use it and must " +
+		"not replace it with context.Background/TODO",
+	Match: func(path string) bool { return path == "bwcs" || path == "bwcs/live" },
+	Run:   runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			ctxParam := contextParam(pass, fd)
+			if ctxParam == nil {
+				continue
+			}
+			checkCtxUse(pass, fd, ctxParam)
+		}
+	}
+	return nil
+}
+
+// contextParam returns the function's context.Context parameter object,
+// or nil. An anonymous or blank context parameter counts (and is flagged
+// by the caller as dropped).
+func contextParam(pass *analysis.Pass, fd *ast.FuncDecl) *paramInfo {
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			return &paramInfo{fd: fd, pos: field.Pos()}
+		}
+		name := field.Names[0]
+		return &paramInfo{fd: fd, pos: name.Pos(), obj: pass.TypesInfo.ObjectOf(name), name: name.Name}
+	}
+	return nil
+}
+
+type paramInfo struct {
+	fd   *ast.FuncDecl
+	pos  token.Pos
+	obj  types.Object // nil when the parameter is anonymous
+	name string
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func checkCtxUse(pass *analysis.Pass, fd *ast.FuncDecl, p *paramInfo) {
+	if p.obj == nil || p.name == "_" {
+		pass.Reportf(p.pos, "exported %s discards its context.Context parameter: name it and thread it to context-aware callees", fd.Name.Name)
+		return
+	}
+	used := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == p.obj {
+			used = true
+		}
+		return true
+	})
+	if !used {
+		pass.Reportf(p.pos, "exported %s never uses its context.Context parameter %q: thread it to callees or drop it from the signature", fd.Name.Name, p.name)
+		return
+	}
+	// Background()/TODO() inside a context-taking function detaches the
+	// callee from the caller's cancellation — except when re-assigned to
+	// the parameter itself as a nil-guard.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() != "Background" && fn.Name() != "TODO" {
+			return true
+		}
+		if nilGuardAssign(pass, fd.Body, call, p.obj) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s has a ctx parameter but calls context.%s here, detaching callees from the caller's cancellation; pass %s (or a context derived from it)", fd.Name.Name, fn.Name(), p.name)
+		return true
+	})
+}
+
+// nilGuardAssign reports whether call appears as the right-hand side of
+// an assignment to the context parameter itself — the `if ctx == nil {
+// ctx = context.Background() }` idiom.
+func nilGuardAssign(pass *analysis.Pass, body *ast.BlockStmt, call *ast.CallExpr, param types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || found {
+			return !found
+		}
+		for i, rhs := range as.Rhs {
+			if ast.Unparen(rhs) != call || i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == param {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,77 @@
+package lint_test
+
+import (
+	"testing"
+
+	"bwcs/internal/lint"
+	"bwcs/internal/lint/analysistest"
+)
+
+func TestSimDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.SimDeterminism, "simdet")
+}
+
+func TestWireExhaustive(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.WireExhaustive, "wire")
+}
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.LockDiscipline, "lock")
+}
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.AtomicMix, "atomicmix")
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.CtxFlow, "ctxflow")
+}
+
+// TestIgnoreDirectives pins the //lint:bwvet-ignore contract: a reasoned
+// ignore on the flagged line or the line above suppresses, a reasonless
+// one is reported and suppresses nothing.
+func TestIgnoreDirectives(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.LockDiscipline, "ignore")
+}
+
+// TestMatchScopes pins which packages each scoped analyzer patrols, so a
+// package rename cannot silently drop it from coverage.
+func TestMatchScopes(t *testing.T) {
+	cases := []struct {
+		name  string
+		match func(string) bool
+		in    []string
+		out   []string
+	}{
+		{
+			"simdeterminism", lint.SimDeterminism.Match,
+			[]string{"bwcs/internal/sim", "bwcs/internal/engine", "bwcs/internal/protocol", "bwcs/internal/optimal"},
+			[]string{"bwcs", "bwcs/live", "bwcs/internal/metrics"},
+		},
+		{
+			"wireexhaustive", lint.WireExhaustive.Match,
+			[]string{"bwcs/live"},
+			[]string{"bwcs", "bwcs/internal/sim"},
+		},
+		{
+			"ctxflow", lint.CtxFlow.Match,
+			[]string{"bwcs", "bwcs/live"},
+			[]string{"bwcs/internal/engine"},
+		},
+	}
+	for _, c := range cases {
+		for _, p := range c.in {
+			if !c.match(p) {
+				t.Errorf("%s: expected to cover %s", c.name, p)
+			}
+		}
+		for _, p := range c.out {
+			if c.match(p) {
+				t.Errorf("%s: expected not to cover %s", c.name, p)
+			}
+		}
+	}
+	if lint.LockDiscipline.Match != nil || lint.AtomicMix.Match != nil {
+		t.Error("lockdiscipline and atomicmix are repo-wide: Match must be nil")
+	}
+}

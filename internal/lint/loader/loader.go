@@ -1,0 +1,270 @@
+// Package loader parses and type-checks packages of this module for the
+// bwvet analyzers, with no dependency beyond the standard library. Imports
+// inside the module are resolved by walking the repository itself; every
+// other import (all standard library here) is type-checked from GOROOT
+// source via go/importer's "source" compiler, which needs neither
+// pre-compiled export data nor network access.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package.
+type Package struct {
+	Path  string // import path, e.g. "bwcs/live"
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads packages of a single module.
+type Loader struct {
+	Fset *token.FileSet
+
+	modRoot string
+	modPath string
+	std     types.Importer
+	cache   map[string]*Package
+	loading map[string]bool
+}
+
+// New returns a loader for the module containing dir (found by walking up
+// to go.mod).
+func New(dir string) (*Loader, error) {
+	root, path, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	// The source importer consults the global build context; cgo would
+	// drag compiler-specific headers into type-checking, and nothing in
+	// this module needs it.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		modRoot: root,
+		modPath: path,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// ModulePath returns the module's import path.
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// findModule walks up from dir to the enclosing go.mod.
+func findModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("loader: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("loader: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Expand resolves package patterns relative to base into import paths.
+// Supported forms: "./...", "dir/...", "./dir", "dir", and absolute
+// directories inside the module.
+func (l *Loader) Expand(base string, patterns []string) ([]string, error) {
+	var paths []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if p, ok := l.importPathFor(dir); ok && !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(base, dir)
+		}
+		if !recursive {
+			add(dir)
+			continue
+		}
+		err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			add(p)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loader: expand %q: %w", pat, err)
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// importPathFor maps a directory to its module import path if it holds at
+// least one non-test Go file.
+func (l *Loader) importPathFor(dir string) (string, bool) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", false
+	}
+	rel, err := filepath.Rel(l.modRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", false
+	}
+	names, err := goFilesIn(abs)
+	if err != nil || len(names) == 0 {
+		return "", false
+	}
+	if rel == "." {
+		return l.modPath, true
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), true
+}
+
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Load parses and type-checks the package at the given module import
+// path (or, via LoadDir, any directory).
+func (l *Loader) Load(path string) (*Package, error) {
+	if !l.inModule(path) {
+		return nil, fmt.Errorf("loader: %q is outside module %s", path, l.modPath)
+	}
+	return l.loadDir(path, l.dirFor(path))
+}
+
+// LoadDir parses and type-checks the package in dir under the given
+// import path, without requiring dir to live inside the module tree (the
+// analysistest harness loads fixture directories this way).
+func (l *Loader) LoadDir(path, dir string) (*Package, error) {
+	return l.loadDir(path, dir)
+}
+
+func (l *Loader) inModule(path string) bool {
+	return path == l.modPath || strings.HasPrefix(path, l.modPath+"/")
+}
+
+func (l *Loader) dirFor(path string) string {
+	if path == l.modPath {
+		return l.modRoot
+	}
+	return filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modPath+"/")))
+}
+
+func (l *Loader) loadDir(path, dir string) (*Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("loader: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %s: %w", dir, err)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importerFunc(l.importDep)}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-check %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.cache[path] = p
+	return p, nil
+}
+
+// importDep resolves one import: module-internal paths recurse through
+// the loader, everything else goes to the GOROOT source importer.
+func (l *Loader) importDep(path string) (*types.Package, error) {
+	if l.inModule(path) {
+		p, err := l.loadDir(path, l.dirFor(path))
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

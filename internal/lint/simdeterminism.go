@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"bwcs/internal/lint/analysis"
+)
+
+// deterministicPkgs are the packages whose behavior must be a pure
+// function of their inputs: the simulator and engine (the paper's
+// 25,000-tree sweeps are only comparable if replayable bit for bit), the
+// protocol policies they host, and the optimal-rate computation the
+// sweeps are judged against.
+var deterministicPkgs = []string{
+	"bwcs/internal/sim",
+	"bwcs/internal/engine",
+	"bwcs/internal/protocol",
+	"bwcs/internal/optimal",
+}
+
+// SimDeterminism forbids nondeterminism sources in the simulation core:
+// wall-clock reads (time.Now, time.Since), the global math/rand source
+// (seeded-Rand values constructed with rand.New are fine), and map
+// iteration whose body order leaks into results — a send on a channel,
+// or an append to an outer slice that the function never sorts.
+var SimDeterminism = &analysis.Analyzer{
+	Name: "simdeterminism",
+	Doc: "forbid wall-clock reads, the global math/rand source, and " +
+		"order-leaking map iteration in the deterministic simulation packages",
+	Match: func(path string) bool {
+		for _, p := range deterministicPkgs {
+			if path == p {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runSimDeterminism,
+}
+
+// globalRandAllowed are the math/rand and math/rand/v2 package-level
+// functions that construct explicit sources instead of drawing from the
+// global one.
+var globalRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func runSimDeterminism(pass *analysis.Pass) error {
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Now" || fn.Name() == "Since" {
+				pass.Reportf(id.Pos(), "time.%s reads the wall clock in a deterministic package; derive time from simulation state", fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			sig, ok := fn.Type().(*types.Signature)
+			if ok && sig.Recv() == nil && !globalRandAllowed[fn.Name()] {
+				pass.Reportf(id.Pos(), "%s.%s draws from the process-global random source; use a seeded *rand.Rand carried in the run's state", fn.Pkg().Name(), fn.Name())
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if rng, ok := n.(*ast.RangeStmt); ok {
+					checkMapRange(pass, rng, fd)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkMapRange flags order-observable work inside a map-iteration body:
+// channel sends, and appends to slices declared outside the loop unless
+// the enclosing function visibly sorts that slice afterwards (the
+// collect-then-sort idiom is the sanctioned way to iterate a map
+// deterministically).
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, enclosing *ast.FuncDecl) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // deferred execution; not this iteration's order
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration: map order is random, so message order becomes nondeterministic")
+		case *ast.AssignStmt:
+			checkRangeAppend(pass, n, rng, enclosing)
+		}
+		return true
+	})
+}
+
+func checkRangeAppend(pass *analysis.Pass, as *ast.AssignStmt, rng *ast.RangeStmt, enclosing *ast.FuncDecl) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "append") || i >= len(as.Lhs) {
+			continue
+		}
+		target, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.TypesInfo.ObjectOf(target)
+		if obj == nil {
+			continue
+		}
+		// A slice declared inside the loop body is rebuilt per iteration;
+		// its order cannot leak out of the loop.
+		if obj.Pos() >= rng.Body.Pos() && obj.Pos() <= rng.Body.End() {
+			continue
+		}
+		if enclosing != nil && sortsSlice(pass, enclosing.Body, obj) {
+			continue
+		}
+		pass.Reportf(as.Pos(), "append to %q inside map iteration without a later sort: element order follows the random map order", target.Name)
+	}
+}
+
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+// sortSinks are the sort/slices entry points whose first argument is the
+// slice being ordered.
+var sortSinks = map[string]bool{
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true, "sort.Stable": true,
+	"sort.Ints": true, "sort.Strings": true, "sort.Float64s": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+// sortsSlice reports whether body contains a recognized sorting call whose
+// first argument is obj.
+func sortsSlice(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || len(call.Args) == 0 {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if !sortSinks[fn.Pkg().Name()+"."+fn.Name()] {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok && pass.TypesInfo.ObjectOf(arg) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,36 @@
+// Fixture for the atomicmix analyzer: a field touched through
+// sync/atomic anywhere must be touched that way everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	safe  int64
+	typed atomic.Int64
+}
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.safe, 1)
+}
+
+func plainRead(c *counters) int64 {
+	return c.hits // want "field \"hits\" is accessed via sync/atomic elsewhere but plainly here"
+}
+
+func plainWrite(c *counters) {
+	c.hits = 0 // want "field \"hits\" is accessed via sync/atomic elsewhere but plainly here"
+}
+
+func atomicRead(c *counters) int64 {
+	return atomic.LoadInt64(&c.safe) // ok: consistently atomic
+}
+
+func construct() *counters {
+	return &counters{} // ok: zero value before publication
+}
+
+func typedField(c *counters) int64 {
+	return c.typed.Load() // ok: the typed wrappers cannot be mixed
+}

@@ -1,0 +1,42 @@
+// Fixture for the ctxflow analyzer: exported functions that accept a
+// context must thread it, not shadow it with a fresh Background/TODO.
+package ctxflow
+
+import "context"
+
+func Unused(ctx context.Context, n int) int { // want "exported Unused never uses its context.Context parameter \"ctx\""
+	return n + 1
+}
+
+func Blank(_ context.Context) {} // want "exported Blank discards its context.Context parameter"
+
+func Anonymous(context.Context) {} // want "exported Anonymous discards its context.Context parameter"
+
+func Detached(ctx context.Context) error {
+	_ = ctx.Err()
+	return run(context.Background()) // want "Detached has a ctx parameter but calls context.Background here"
+}
+
+func DetachedTODO(ctx context.Context) error {
+	_ = ctx.Err()
+	return run(context.TODO()) // want "DetachedTODO has a ctx parameter but calls context.TODO here"
+}
+
+func NilGuard(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background() // ok: the sanctioned nil-guard
+	}
+	return run(ctx)
+}
+
+func Threaded(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx) // ok: derived from the parameter
+	defer cancel()
+	return run(ctx)
+}
+
+func unexported(ctx context.Context, n int) int { // ok: internal helpers are out of scope
+	return n
+}
+
+func run(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,38 @@
+// Fixture for //lint:bwvet-ignore handling, exercised through the
+// lockdiscipline analyzer: a reasoned ignore on the flagged line or the
+// line above suppresses the finding; an ignore with no reason is itself
+// reported (and suppresses nothing).
+package ignore
+
+import "sync"
+
+type t struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func sameLine(x *t) {
+	x.mu.Lock()
+	x.ch <- 1 //lint:bwvet-ignore fixture: reasoned same-line suppression
+	x.mu.Unlock()
+}
+
+func lineAbove(x *t) {
+	x.mu.Lock()
+	//lint:bwvet-ignore fixture: reasoned suppression covering the next line
+	x.ch <- 2
+	x.mu.Unlock()
+}
+
+func missingReason(x *t) {
+	x.mu.Lock()
+	x.ch <- 3 //lint:bwvet-ignore
+	// want-above "channel send while holding x.mu" "malformed bwvet-ignore: a suppression must state its reason"
+	x.mu.Unlock()
+}
+
+func unsuppressed(x *t) {
+	x.mu.Lock()
+	x.ch <- 4 // want "channel send while holding x.mu"
+	x.mu.Unlock()
+}

@@ -1,0 +1,58 @@
+// Fixture for the simdeterminism analyzer: wall-clock reads, the global
+// math/rand source, and order-leaking map iteration are flagged; seeded
+// sources and the collect-then-sort idiom pass.
+package simdet
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+type state struct {
+	byID map[int]string
+	out  chan string
+	rng  *rand.Rand
+}
+
+func wallClock() time.Duration {
+	start := time.Now()    // want "time.Now reads the wall clock in a deterministic package"
+	return time.Since(start) // want "time.Since reads the wall clock in a deterministic package"
+}
+
+func globalRand() int {
+	return rand.IntN(7) // want "rand.IntN draws from the process-global random source"
+}
+
+func seededRand(s *state) int {
+	r := rand.New(rand.NewPCG(1, 2)) // ok: explicit source construction
+	return r.IntN(7) + s.rng.IntN(7) // ok: method on a carried *rand.Rand
+}
+
+func leakyIteration(s *state) []string {
+	var names []string
+	for _, v := range s.byID {
+		names = append(names, v) // want "append to \"names\" inside map iteration without a later sort"
+		s.out <- v               // want "channel send inside map iteration"
+	}
+	return names
+}
+
+func collectThenSort(s *state) []string {
+	names := make([]string, 0, len(s.byID))
+	for _, v := range s.byID {
+		names = append(names, v) // ok: sorted below before the order can leak
+	}
+	sort.Strings(names)
+	return names
+}
+
+func loopLocal(s *state) int {
+	n := 0
+	for _, v := range s.byID {
+		parts := []string{}
+		parts = append(parts, v) // ok: rebuilt every iteration
+		n += len(parts)
+	}
+	return n
+}

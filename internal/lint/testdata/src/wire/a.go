@@ -1,0 +1,72 @@
+// Fixture for the wireexhaustive analyzer: a switch on a frame-kind type
+// must enumerate every kind constant or carry an explicit default.
+package wire
+
+type kind uint8
+
+const (
+	kindA kind = iota + 1
+	kindB
+	kindC
+)
+
+type frame uint8
+
+const (
+	FrameAny frame = iota
+	FrameA
+)
+
+// other is not a frame-kind type: its constants carry no kind/Frame
+// prefix, so its switches are out of scope.
+type other uint8
+
+const (
+	otherX other = iota
+	otherY
+)
+
+func missingCase(k kind) int {
+	switch k { // want "switch on kind is not exhaustive and has no default: missing kindC"
+	case kindA:
+		return 1
+	case kindB:
+		return 2
+	}
+	return 0
+}
+
+func exhaustive(k kind) int {
+	switch k {
+	case kindA, kindB:
+		return 1
+	case kindC:
+		return 2
+	}
+	return 0
+}
+
+func defaulted(k kind) int {
+	switch k {
+	case kindA:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func frameMissing(f frame) bool {
+	switch f { // want "switch on frame is not exhaustive and has no default: missing FrameA"
+	case FrameAny:
+		return true
+	}
+	return false
+}
+
+func unscoped(o other) bool {
+	switch o {
+	case otherX:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"bwcs/internal/lint/analysis"
+)
+
+// WireExhaustive requires every switch over a wire frame-kind type to
+// either enumerate all of the type's kind constants or carry an explicit
+// default clause. PR 3 appended kindResultAck to several hand-maintained
+// switches; this analyzer makes the next appended frame kind a build
+// break instead of a silently dropped frame.
+//
+// A "frame-kind type" is a named type defined in the inspected package
+// all of whose package-level constants are named kind* or Frame* (the
+// wire kinds and their fault-injection selectors).
+var WireExhaustive = &analysis.Analyzer{
+	Name: "wireexhaustive",
+	Doc: "switches on a wire frame kind must enumerate every kind constant " +
+		"or have an explicit default",
+	Match: func(path string) bool { return path == "bwcs/live" },
+	Run:   runWireExhaustive,
+}
+
+func runWireExhaustive(pass *analysis.Pass) error {
+	kindTypes := frameKindTypes(pass.Pkg)
+	if len(kindTypes) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(sw.Tag)
+			named, ok := t.(*types.Named)
+			if !ok {
+				return true
+			}
+			consts, ok := kindTypes[named.Obj()]
+			if !ok {
+				return true
+			}
+			checkKindSwitch(pass, sw, named.Obj().Name(), consts)
+			return true
+		})
+	}
+	return nil
+}
+
+// frameKindTypes maps each frame-kind type defined in pkg to its
+// package-level constants.
+func frameKindTypes(pkg *types.Package) map[*types.TypeName][]*types.Const {
+	byType := make(map[*types.TypeName][]*types.Const)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok || named.Obj().Pkg() != pkg {
+			continue
+		}
+		byType[named.Obj()] = append(byType[named.Obj()], c)
+	}
+	for tn, consts := range byType {
+		if len(consts) < 2 {
+			delete(byType, tn)
+			continue
+		}
+		for _, c := range consts {
+			if !strings.HasPrefix(c.Name(), "kind") && !strings.HasPrefix(c.Name(), "Frame") {
+				delete(byType, tn)
+				break
+			}
+		}
+	}
+	return byType
+}
+
+func checkKindSwitch(pass *analysis.Pass, sw *ast.SwitchStmt, typeName string, consts []*types.Const) {
+	covered := make(map[types.Object]bool)
+	hasDefault := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			e = ast.Unparen(e)
+			switch e := e.(type) {
+			case *ast.Ident:
+				covered[pass.TypesInfo.ObjectOf(e)] = true
+			case *ast.SelectorExpr:
+				covered[pass.TypesInfo.ObjectOf(e.Sel)] = true
+			}
+		}
+	}
+	if hasDefault {
+		return
+	}
+	var missing []string
+	for _, c := range consts {
+		if !covered[c] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(), "switch on %s is not exhaustive and has no default: missing %s — an appended frame kind would be silently dropped here",
+		typeName, strings.Join(missing, ", "))
+}

@@ -827,6 +827,12 @@ func (n *Node) childLoop(s *childSession, c *conn) {
 			n.wake(n.kick)
 		case kindHeartbeat:
 			// Receipt alone refreshed the link's proof-of-life clock.
+		default:
+			// kindHello arrives only through the accept handshake, and
+			// kindChunk, kindHelloAck, kindShutdown, and kindResultAck flow
+			// parent→child, never up a child link. Anything here is a peer
+			// protocol bug; receipt already counted as proof of life, and
+			// dropping the frame is the safe response.
 		}
 	}
 }
@@ -1066,6 +1072,12 @@ func (n *Node) readParent(c *conn) (shutdown bool) {
 		case kindHeartbeat, kindHelloAck:
 			// Heartbeats only refresh the proof-of-life clock; a stray
 			// hello-ack after the handshake is ignored.
+		default:
+			// kindHello, kindRequest, kindResult, kindChunkAck, and
+			// kindGoodbye flow child→parent, never down the uplink. A frame
+			// of a kind this build does not know (a newer peer) lands here
+			// too; dropping it keeps the link alive rather than desyncing
+			// the stream.
 		}
 	}
 }

@@ -154,6 +154,9 @@ func (c *conn) send(m *message) error {
 	if c.writeTO > 0 {
 		_ = c.raw.SetWriteDeadline(time.Now().Add(c.writeTO))
 	}
+	// wmu exists solely to serialize this write: it guards no other state,
+	// and the stall lockdiscipline fears is capped by the write deadline.
+	//lint:bwvet-ignore wmu is a dedicated write lock; the encode is bounded by SetWriteDeadline
 	return c.enc.Encode(m)
 }
 
