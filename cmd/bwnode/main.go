@@ -26,6 +26,7 @@ package main
 import (
 	"context"
 	"crypto/sha256"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -56,7 +57,9 @@ func run(args []string) error {
 		tasks     = fs.Int("tasks", 0, "root only: number of tasks to dispatch")
 		size      = fs.Int("size", 4096, "root only: task payload bytes")
 		timeout   = fs.Duration("timeout", 10*time.Minute, "root only: run deadline")
-		status    = fs.String("status", "", "serve /status (JSON), /metrics (Prometheus) and /debug/pprof at this address (e.g. 127.0.0.1:8080)")
+		status    = fs.String("status", "", "serve /status (JSON), /metrics (Prometheus), /debug/events (flight recorder) and /debug/pprof at this address (e.g. 127.0.0.1:8080)")
+		traceOut  = fs.String("trace-out", "", "write the node's flight-recorder dump (JSON) to this file on exit; merge dumps with bwtrace")
+		recorder  = fs.Int("recorder", 0, "flight-recorder ring capacity in events (0 = default 8192, negative disables)")
 
 		heartbeat = fs.Duration("heartbeat", time.Second, "per-link heartbeat interval (negative disables supervision)")
 		hbMisses  = fs.Int("heartbeat-misses", 3, "consecutive silent intervals before a link is severed")
@@ -88,11 +91,24 @@ func run(args []string) error {
 	if *nonIC {
 		opts = append(opts, live.NonInterruptible())
 	}
+	if *recorder != 0 {
+		opts = append(opts, live.WithRecorderCapacity(*recorder))
+	}
 	node, err := live.Start(*name, opts...)
 	if err != nil {
 		return err
 	}
 	defer node.Close()
+	if *traceOut != "" {
+		// The dump is written after Close so it holds the complete run,
+		// shutdown frames included.
+		defer func() {
+			_ = node.Close()
+			if werr := writeTraceDump(node, *traceOut); werr != nil {
+				fmt.Fprintln(os.Stderr, "bwnode:", werr)
+			}
+		}()
+	}
 	if *listen != "" {
 		fmt.Printf("%s listening on %s\n", *name, node.Addr())
 	}
@@ -160,6 +176,21 @@ func run(args []string) error {
 	fmt.Printf("root: computed %d, forwarded %d, interrupts %d\n", s.Computed, s.Forwarded, s.Interrupts)
 	printRecovery("root", s)
 	return nil
+}
+
+// writeTraceDump serializes the node's flight recorder for bwtrace.
+func writeTraceDump(node *live.Node, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(node.TraceDump()); err != nil {
+		f.Close()
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	return f.Close()
 }
 
 // printRecovery reports the fault-tolerance counters when anything

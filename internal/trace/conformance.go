@@ -1,0 +1,180 @@
+package trace
+
+// Protocol-conformance replay: reconstruct per-node scheduling state from
+// an event stream and verify the paper's rules at every decision point,
+// independently of whoever produced the stream. The engine test suite
+// replays simulator traces with every check enabled; cmd/bwtrace replays
+// merged live flight-recorder timelines with the checks that assume
+// ground-truth link costs or a fault-free run switched off.
+
+import (
+	"fmt"
+
+	"bwcs/internal/tree"
+)
+
+// Replay verifies an event stream against the protocol's invariants.
+type Replay struct {
+	// Tree is the platform the events ran on.
+	Tree *tree.Tree
+	// Tasks is the root's initial pool size.
+	Tasks int64
+	// InitialPending seeds every non-root node's outstanding-request count
+	// before replay — the protocol's FB startup requests, which the
+	// simulator does not emit as events. Live replays leave it 0: a live
+	// node's startup requests appear as Request events.
+	InitialPending int
+	// CheckPriority verifies the bandwidth-centric rule at every fresh
+	// send: the chosen child must have minimal Tree.C among serviceable
+	// siblings. It requires Tree.C to be ground truth, so it is a
+	// simulator-only check; live runs schedule on measured estimates and
+	// are verified against those separately.
+	CheckPriority bool
+	// CheckDrain requires the replay to end with the pool empty and no
+	// task buffered or in flight — true for a completed fault-free run.
+	CheckDrain bool
+
+	// Fresh counts the fresh send starts the last Run saw; a replay of a
+	// working run that moved any task at all has Fresh > 0.
+	Fresh int
+}
+
+// replayState is the per-node scheduling state reconstructed from events.
+type replayState struct {
+	t *tree.Tree
+	// pending[child] counts outstanding requests not yet matched by a
+	// fresh send start.
+	pending map[tree.NodeID]int
+	// inflight[child] is true while a transfer to child is in flight or
+	// shelved (fresh start .. done; interrupts keep it).
+	inflight map[tree.NodeID]bool
+	// buffered[node] counts tasks delivered but not yet consumed; the
+	// root is tracked via the remaining pool.
+	buffered map[tree.NodeID]int
+	pool     int64
+}
+
+func (r *replayState) hasTask(n tree.NodeID) bool {
+	if n == r.t.Root() {
+		return r.pool > 0
+	}
+	return r.buffered[n] > 0
+}
+
+func (r *replayState) take(n tree.NodeID) {
+	if n == r.t.Root() {
+		r.pool--
+		return
+	}
+	r.buffered[n]--
+}
+
+func (r *replayState) give(n tree.NodeID) {
+	if n == r.t.Root() {
+		r.pool++
+		return
+	}
+	r.buffered[n]++
+}
+
+// Run replays the events in order and returns the first invariant
+// violation, or nil if the stream conforms.
+func (rp *Replay) Run(events []Event) error {
+	rs := &replayState{
+		t:        rp.Tree,
+		pending:  map[tree.NodeID]int{},
+		inflight: map[tree.NodeID]bool{},
+		buffered: map[tree.NodeID]int{},
+		pool:     rp.Tasks,
+	}
+	if rp.InitialPending > 0 {
+		rp.Tree.Walk(func(id tree.NodeID) bool {
+			if id != rp.Tree.Root() {
+				rs.pending[id] = rp.InitialPending
+			}
+			return true
+		})
+	}
+	rp.Fresh = 0
+	for _, e := range events {
+		switch e.Kind {
+		case Request:
+			// The sim emits one event per request (Value unset); live
+			// requests are batched, with Value carrying the count.
+			n := int(e.Value)
+			if n <= 0 {
+				n = 1
+			}
+			rs.pending[e.Node] += n
+		case SendStart:
+			// A fresh send must serve a serviceable child (pending request,
+			// no transfer already in flight or shelved) from a held task.
+			parent, chosen := e.Node, e.Peer
+			if !rs.hasTask(parent) {
+				return fmt.Errorf("trace: fresh send from %d without a task (%s)", parent, e)
+			}
+			if rs.pending[chosen] < 1 || rs.inflight[chosen] {
+				return fmt.Errorf("trace: send to unserviceable child %d (pending=%d inflight=%v) (%s)",
+					chosen, rs.pending[chosen], rs.inflight[chosen], e)
+			}
+			if rp.CheckPriority {
+				for _, sib := range rs.t.Children(parent) {
+					if sib == chosen || rs.pending[sib] < 1 || rs.inflight[sib] {
+						continue
+					}
+					if rs.t.C(sib) < rs.t.C(chosen) {
+						return fmt.Errorf("trace: served child %d (c=%d) over faster sibling %d (c=%d) (%s)",
+							chosen, rs.t.C(chosen), sib, rs.t.C(sib), e)
+					}
+				}
+			}
+			rs.pending[chosen]--
+			rs.inflight[chosen] = true
+			rs.take(parent)
+			rp.Fresh++
+		case SendResume:
+			if !rs.inflight[e.Peer] {
+				return fmt.Errorf("trace: resume without an in-flight transfer to %d (%s)", e.Peer, e)
+			}
+		case SendInterrupt:
+			if !rs.inflight[e.Peer] {
+				return fmt.Errorf("trace: interrupt without an in-flight transfer to %d (%s)", e.Peer, e)
+			}
+		case SendDone:
+			if !rs.inflight[e.Peer] {
+				return fmt.Errorf("trace: delivery without an in-flight transfer to %d (%s)", e.Peer, e)
+			}
+			rs.inflight[e.Peer] = false
+			rs.buffered[e.Peer]++
+		case ComputeStart:
+			if !rs.hasTask(e.Node) {
+				return fmt.Errorf("trace: node %d computing without a task (%s)", e.Node, e)
+			}
+			rs.take(e.Node)
+		case Requeue:
+			// Recovery: the acting node reclaims one task from the Peer
+			// subtree. Whether the task was mid-transfer (in flight) or
+			// fully delivered (outstanding), it re-enters the node's pool;
+			// the child side's copy, if any, produces a duplicate result
+			// that dedupe suppresses, invisible at this layer.
+			rs.inflight[e.Peer] = false
+			rs.give(e.Node)
+		}
+	}
+	if rp.CheckDrain {
+		if rs.pool != 0 {
+			return fmt.Errorf("trace: %d tasks left in the pool", rs.pool)
+		}
+		for id, n := range rs.buffered {
+			if n != 0 {
+				return fmt.Errorf("trace: node %d ends with %d buffered tasks", id, n)
+			}
+		}
+		for id, f := range rs.inflight {
+			if f {
+				return fmt.Errorf("trace: transfer to %d never completed", id)
+			}
+		}
+	}
+	return nil
+}

@@ -13,52 +13,12 @@ import (
 	"bwcs/internal/tree"
 )
 
-// replayState reconstructs per-node scheduling state from a trace.
-type replayState struct {
-	t *tree.Tree
-	// pending[child] counts outstanding requests not yet matched by a
-	// fresh send start.
-	pending map[tree.NodeID]int
-	// inflight[child] is true while a transfer to child is in flight or
-	// shelved (fresh start .. done, minus nothing: interrupts keep it).
-	inflight map[tree.NodeID]bool
-	// buffered[node] counts tasks delivered but not yet consumed; the
-	// root is tracked via remaining pool.
-	buffered map[tree.NodeID]int
-	pool     int64
-}
-
-func newReplay(t *tree.Tree, tasks int64) *replayState {
-	return &replayState{
-		t:        t,
-		pending:  map[tree.NodeID]int{},
-		inflight: map[tree.NodeID]bool{},
-		buffered: map[tree.NodeID]int{},
-		pool:     tasks,
-	}
-}
-
-func (r *replayState) hasTask(n tree.NodeID) bool {
-	if n == r.t.Root() {
-		return r.pool > 0
-	}
-	return r.buffered[n] > 0
-}
-
-func (r *replayState) take(n tree.NodeID) {
-	if n == r.t.Root() {
-		r.pool--
-		return
-	}
-	r.buffered[n]--
-}
-
 // TestBandwidthCentricServiceOrder replays IC FB=3 runs on random
-// platforms and asserts, at every fresh send start, that the chosen child
-// had the smallest communication time among serviceable children (pending
-// request, no transfer already in flight or shelved) — the paper's
-// bandwidth-centric rule, checked against state reconstructed purely from
-// the event stream.
+// platforms through the exported Replay with every check enabled: at every
+// fresh send start the chosen child had the smallest communication time
+// among serviceable children (pending request, no transfer already in
+// flight or shelved) — the paper's bandwidth-centric rule, checked against
+// state reconstructed purely from the event stream — and the run drains.
 func TestBandwidthCentricServiceOrder(t *testing.T) {
 	params := randtree.Params{MinNodes: 5, MaxNodes: 50, MinComm: 1, MaxComm: 40, Comp: 600}
 	const tasks = 600
@@ -68,83 +28,64 @@ func TestBandwidthCentricServiceOrder(t *testing.T) {
 		if _, err := engine.Run(engine.Config{Tree: tr, Protocol: protocol.Interruptible(3), Tasks: tasks, Tracer: rec}); err != nil {
 			t.Fatalf("tree %d: %v", ti, err)
 		}
-		rs := newReplay(tr, tasks)
-		// Initial requests: FB per node.
-		tr.Walk(func(id tree.NodeID) bool {
-			if id != tr.Root() {
-				rs.pending[id] = 3
-			}
-			return true
-		})
-		sawFresh := 0
-		for _, e := range rec.Events() {
-			switch e.Kind {
-			case Request:
-				rs.pending[e.Node]++
-			case SendStart:
-				// Conformance check: the chosen child must be serviceable
-				// and have minimal c among serviceable siblings.
-				parent := e.Node
-				chosen := e.Peer
-				if !rs.hasTask(parent) {
-					t.Fatalf("tree %d: fresh send from %d without a task", ti, parent)
-				}
-				if rs.pending[chosen] < 1 || rs.inflight[chosen] {
-					t.Fatalf("tree %d: send to unserviceable child %d (pending=%d inflight=%v)",
-						ti, chosen, rs.pending[chosen], rs.inflight[chosen])
-				}
-				for _, sib := range rs.t.Children(parent) {
-					if sib == chosen || rs.pending[sib] < 1 || rs.inflight[sib] {
-						continue
-					}
-					if rs.t.C(sib) < rs.t.C(chosen) {
-						t.Fatalf("tree %d: served child %d (c=%d) over faster sibling %d (c=%d)",
-							ti, chosen, rs.t.C(chosen), sib, rs.t.C(sib))
-					}
-				}
-				rs.pending[chosen]--
-				rs.inflight[chosen] = true
-				rs.take(parent)
-				sawFresh++
-			case SendResume:
-				if !rs.inflight[e.Peer] {
-					t.Fatalf("tree %d: resume without an in-flight transfer to %d", ti, e.Peer)
-				}
-			case SendInterrupt:
-				if !rs.inflight[e.Peer] {
-					t.Fatalf("tree %d: interrupt without an in-flight transfer to %d", ti, e.Peer)
-				}
-			case SendDone:
-				if !rs.inflight[e.Peer] {
-					t.Fatalf("tree %d: delivery without an in-flight transfer to %d", ti, e.Peer)
-				}
-				rs.inflight[e.Peer] = false
-				rs.buffered[e.Peer]++
-			case ComputeStart:
-				if !rs.hasTask(e.Node) {
-					t.Fatalf("tree %d: node %d computing without a task", ti, e.Node)
-				}
-				rs.take(e.Node)
-			}
+		rp := &Replay{Tree: tr, Tasks: tasks, InitialPending: 3, CheckPriority: true, CheckDrain: true}
+		if err := rp.Run(rec.Events()); err != nil {
+			t.Fatalf("tree %d: %v", ti, err)
 		}
-		if sawFresh == 0 {
+		if rp.Fresh == 0 {
 			t.Fatalf("tree %d: no sends at all", ti)
 		}
-		// All tasks accounted for: pool drained, nothing left buffered or
-		// in flight.
-		if rs.pool != 0 {
-			t.Fatalf("tree %d: %d tasks left in the pool", ti, rs.pool)
+	}
+}
+
+// TestReplayRejectsViolations pins that the replay actually fails on
+// non-conforming streams, so a green conformance run means something.
+func TestReplayRejectsViolations(t *testing.T) {
+	tr := tree.New(1)
+	slow := tr.AddChild(tr.Root(), 1, 10)
+	fast := tr.AddChild(tr.Root(), 1, 1)
+	root := tr.Root()
+	cases := []struct {
+		name   string
+		events []Event
+	}{
+		{"send without request", []Event{
+			{Kind: SendStart, Node: root, Peer: fast},
+		}},
+		{"send over faster sibling", []Event{
+			{Kind: Request, Node: slow}, {Kind: Request, Node: fast},
+			{Kind: SendStart, Node: root, Peer: slow},
+		}},
+		{"double send in flight", []Event{
+			{Kind: Request, Node: fast}, {Kind: Request, Node: fast},
+			{Kind: SendStart, Node: root, Peer: fast},
+			{Kind: SendStart, Node: root, Peer: fast},
+		}},
+		{"resume with nothing in flight", []Event{
+			{Kind: SendResume, Node: root, Peer: fast},
+		}},
+		{"compute without a task", []Event{
+			{Kind: ComputeStart, Node: fast},
+		}},
+		{"undrained pool", []Event{}},
+	}
+	for _, tc := range cases {
+		rp := &Replay{Tree: tr, Tasks: 2, CheckPriority: true, CheckDrain: true}
+		if err := rp.Run(tc.events); err == nil {
+			t.Errorf("%s: replay accepted a violating stream", tc.name)
 		}
-		for id, n := range rs.buffered {
-			if n != 0 {
-				t.Fatalf("tree %d: node %d ends with %d buffered tasks", ti, id, n)
-			}
-		}
-		for id, f := range rs.inflight {
-			if f {
-				t.Fatalf("tree %d: transfer to %d never completed", ti, id)
-			}
-		}
+	}
+	// And the recovery path: a requeue returns the task, re-legalizing a
+	// second dispatch of it.
+	rp := &Replay{Tree: tr, Tasks: 1}
+	ok := []Event{
+		{Kind: Request, Node: fast}, {Kind: Request, Node: fast},
+		{Kind: SendStart, Node: root, Peer: fast},
+		{Kind: Requeue, Node: root, Peer: fast},
+		{Kind: SendStart, Node: root, Peer: fast},
+	}
+	if err := rp.Run(ok); err != nil {
+		t.Errorf("requeue replay: %v", err)
 	}
 }
 

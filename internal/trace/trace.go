@@ -29,6 +29,11 @@ const (
 	SendDone
 	Request
 	Grow
+	// Requeue is a task reclaimed from a failed subtree back into the
+	// acting node's pool (the live runtime's recovery path; the
+	// deterministic engine never emits it). Node is the reclaiming parent,
+	// Peer the subtree the task was reclaimed from.
+	Requeue
 )
 
 var kindNames = [...]string{
@@ -40,6 +45,7 @@ var kindNames = [...]string{
 	SendDone:      "send-done",
 	Request:       "request",
 	Grow:          "grow",
+	Requeue:       "requeue",
 }
 
 // String returns the event kind's name.

@@ -60,6 +60,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -139,6 +140,10 @@ type Config struct {
 	// Faults, when non-nil, is a deterministic fault-injection script
 	// consulted on every frame this node sends or receives.
 	Faults *FaultPlan
+	// RecorderCap is the flight recorder's ring capacity in events;
+	// 0 means the 8192 default, negative disables the recorder. Overflow
+	// evicts the oldest events and counts them in Stats.RecorderDropped.
+	RecorderCap int
 
 	// sleep is the backoff clock, replaceable by tests; nil means real
 	// time.Sleep interruptible by node shutdown.
@@ -166,6 +171,10 @@ type Stats struct {
 	ResultsReplayed  int64 // unacked results retransmitted (reconnect replay or retry)
 	ResultsDeduped   int64 // duplicate results suppressed before relay/collection
 	RequeuedOnRevive int64 // tasks requeued by revive-time reconciliation (subset of Requeued)
+
+	// RecorderDropped counts flight-recorder events evicted by ring
+	// overflow; nonzero means dumps hold a truncated window.
+	RecorderDropped int64
 }
 
 // Node is a running overlay node.
@@ -174,9 +183,15 @@ type Node struct {
 	root     bool
 	listener net.Listener
 
+	// rec is the flight recorder; nil when disabled. wireSeq numbers
+	// every frame the node sends, across all conns and reconnects.
+	rec     *flightRecorder
+	wireSeq atomic.Uint64
+
 	mu         sync.Mutex
-	parent     *conn // current uplink; nil while disconnected (or root)
-	reqDeficit int   // requests owed to the parent, accrued while disconnected
+	parentName string // parent's node name, learned from its hello-ack
+	parent     *conn  // current uplink; nil while disconnected (or root)
+	reqDeficit int    // requests owed to the parent, accrued while disconnected
 	// unacked is the result ledger: every result this node owes its
 	// parent, in arrival order, retired only by a matching result ack.
 	// The flusher goroutine is its sole sender, so wire order follows
@@ -224,6 +239,13 @@ type outTransfer struct {
 	offset  int  // next byte to send
 	acked   int  // bytes the child confirmed receiving
 	sentAll bool // every byte written; awaiting the final ack
+	// resumed marks the next chunk as the start of a new transfer segment
+	// (after a preemption, reconnect resume, or retransmit-from-top), so
+	// the flight recorder logs it as a resume. traceSeq is the recorder
+	// sequence of the segment's dispatch event, stamped on every chunk
+	// frame of the segment as its causal trace context.
+	resumed  bool
+	traceSeq uint64
 }
 
 // resultEntry is one slot of the unacked-result ledger: a result owed to
@@ -322,6 +344,10 @@ func StartConfig(cfg Config) (*Node, error) {
 		cfg.sleep = realSleep
 	}
 
+	recCap := cfg.RecorderCap
+	if recCap == 0 {
+		recCap = defaultRecorderCap
+	}
 	n := &Node{
 		cfg:       cfg,
 		root:      cfg.Parent == "",
@@ -334,6 +360,9 @@ func StartConfig(cfg Config) (*Node, error) {
 		failed:    make(chan struct{}),
 	}
 	n.stats.ByChild = make(map[string]int64)
+	if recCap > 0 {
+		n.rec = newFlightRecorder(recCap)
+	}
 
 	if cfg.Listen != "" {
 		l, err := net.Listen("tcp", cfg.Listen)
@@ -430,7 +459,21 @@ func (n *Node) Stats() Stats {
 	for k, v := range n.stats.ByChild {
 		s.ByChild[k] = v
 	}
+	if n.rec != nil {
+		s.RecorderDropped = n.rec.dropped()
+	}
 	return s
+}
+
+// parentLabel is the uplink's display name for flight-recorder events:
+// the parent's node name once its hello-ack revealed it, "parent" before.
+func (n *Node) parentLabel() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.parentName != "" {
+		return n.parentName
+	}
+	return "parent"
 }
 
 // Close shuts the node down: children are told to wind down, the parent
@@ -614,7 +657,9 @@ func (n *Node) superviseConn(c *conn) {
 					n.mu.Lock()
 					n.stats.HeartbeatMisses++
 					n.mu.Unlock()
+					n.record(Event{Kind: EvHeartbeatMiss, Peer: c.label(), Value: int64(misses)})
 					if misses >= n.cfg.HeartbeatMisses {
+						n.record(Event{Kind: EvSever, Peer: c.label()})
 						_ = c.close()
 						return
 					}
@@ -638,13 +683,14 @@ func (n *Node) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		c := newConn(raw, "", n.cfg.Faults, n.cfg.WriteTimeout)
+		c := newConn(raw, "", n.cfg.Faults, n.cfg.WriteTimeout, &n.wireSeq)
 		hello, err := c.recvTimeout(handshakeTimeout)
 		if err != nil || hello.Kind != kindHello {
 			_ = c.close()
 			continue
 		}
 		c.peer = hello.Name
+		c.peerName = hello.Name
 		n.admitChild(c, hello)
 	}
 }
@@ -670,9 +716,12 @@ func (n *Node) admitChild(c *conn, hello *message) {
 	for _, rp := range hello.Resume {
 		covered[rp.Task] = true
 	}
-	ack := &message{Kind: kindHelloAck}
+	ack := &message{Kind: kindHelloAck, Name: n.cfg.Name}
 
 	n.mu.Lock()
+	helloSeq := n.record(Event{Kind: EvHello, Peer: hello.Name, WireSeq: hello.Seq,
+		CausePeer: hello.TraceNode, CauseSeq: hello.TraceSeq})
+	ack.TraceNode, ack.TraceSeq = n.cfg.Name, helloSeq
 	var sess *childSession
 	var oldConn *conn
 	for _, s := range n.children {
@@ -687,6 +736,7 @@ func (n *Node) admitChild(c *conn, hello *message) {
 		sess.gone = false
 		sess.goneAt = time.Time{}
 		ack.Revived = true
+		n.record(Event{Kind: EvRevive, Peer: hello.Name})
 		if tr := sess.active; tr != nil {
 			off, ok := offered[tr.task.ID]
 			switch {
@@ -695,6 +745,7 @@ func (n *Node) admitChild(c *conn, hello *message) {
 				tr.offset = off
 				tr.acked = off
 				tr.sentAll = false
+				tr.resumed = true
 				ack.Accepted = append(ack.Accepted, tr.task.ID)
 				n.stats.Resumed++
 			case covered[tr.task.ID]:
@@ -704,6 +755,9 @@ func (n *Node) admitChild(c *conn, hello *message) {
 				// result is awaited, with no duplicate retransmission.
 				sess.outstanding[tr.task.ID] = tr.task
 				sess.active = nil
+				// The handshake is an implied final chunk ack.
+				n.record(Event{Kind: EvChunkAck, Task: tr.task.ID, Peer: hello.Name,
+					Off: len(tr.task.Payload), Value: 1})
 			default:
 				// No partial state offered and the subtree does not hold
 				// the task: retransmit from the top. A fully written
@@ -713,6 +767,7 @@ func (n *Node) admitChild(c *conn, hello *message) {
 				tr.offset = 0
 				tr.acked = 0
 				tr.sentAll = false
+				tr.resumed = true
 			}
 		}
 		// Revive-time reconciliation: requeue every outstanding task the
@@ -731,6 +786,7 @@ func (n *Node) admitChild(c *conn, hello *message) {
 			for _, id := range lost {
 				n.buffer = append(n.buffer, sess.outstanding[id])
 				delete(sess.outstanding, id)
+				n.record(Event{Kind: EvRequeue, Task: id, Peer: hello.Name})
 			}
 			n.stats.Requeued += int64(len(lost))
 			n.stats.RequeuedOnRevive += int64(len(lost))
@@ -773,6 +829,11 @@ func (n *Node) childLoop(s *childSession, c *conn) {
 			n.mu.Lock()
 			if s.c == c {
 				s.pending += m.N
+				// Recorded in the same critical section as the pending
+				// bump, so per-node event order matches the order the
+				// send port observes serviceability.
+				n.record(Event{Kind: EvRequestServed, Peer: s.name, Value: int64(m.N),
+					WireSeq: m.Seq, CausePeer: m.TraceNode, CauseSeq: m.TraceSeq})
 			}
 			n.mu.Unlock()
 			n.wake(n.kick)
@@ -783,6 +844,8 @@ func (n *Node) childLoop(s *childSession, c *conn) {
 			// child retires its ledger entry, but do not relay it again.
 			r := Result{ID: m.Task, Output: m.Output, Origin: m.Origin}
 			n.mu.Lock()
+			recvSeq := n.record(Event{Kind: EvResultRecv, Task: m.Task, Origin: m.Origin,
+				Peer: s.name, WireSeq: m.Seq, CausePeer: m.TraceNode, CauseSeq: m.TraceSeq})
 			_, expected := s.outstanding[m.Task]
 			if expected {
 				delete(s.outstanding, m.Task)
@@ -794,6 +857,7 @@ func (n *Node) childLoop(s *childSession, c *conn) {
 				}
 			} else {
 				n.stats.ResultsDeduped++
+				n.record(Event{Kind: EvResultDedupe, Task: m.Task, Origin: m.Origin, Peer: s.name})
 			}
 			n.mu.Unlock()
 			if expected {
@@ -803,7 +867,8 @@ func (n *Node) childLoop(s *childSession, c *conn) {
 					n.wake(n.resKick)
 				}
 			}
-			_ = c.send(&message{Kind: kindResultAck, Task: m.Task, Origin: m.Origin})
+			_ = c.send(&message{Kind: kindResultAck, Task: m.Task, Origin: m.Origin,
+				TraceNode: n.cfg.Name, TraceSeq: recvSeq})
 		case kindChunkAck:
 			n.mu.Lock()
 			if s.c == c && s.active != nil && s.active.task.ID == m.Task {
@@ -811,6 +876,8 @@ func (n *Node) childLoop(s *childSession, c *conn) {
 				if m.Last {
 					// Delivery confirmed end to end: the task is the
 					// child's responsibility until its result returns.
+					n.record(Event{Kind: EvChunkAck, Task: m.Task, Peer: s.name, Off: m.Offset,
+						Value: 1, WireSeq: m.Seq, CausePeer: m.TraceNode, CauseSeq: m.TraceSeq})
 					s.outstanding[m.Task] = s.active.task
 					s.active = nil
 					n.wakeLocked()
@@ -822,6 +889,8 @@ func (n *Node) childLoop(s *childSession, c *conn) {
 			if s.c == c {
 				s.gone = true
 				s.left = true
+				n.record(Event{Kind: EvGoodbye, Peer: s.name, WireSeq: m.Seq,
+					CausePeer: m.TraceNode, CauseSeq: m.TraceSeq})
 			}
 			n.mu.Unlock()
 			n.wake(n.kick)
@@ -849,6 +918,7 @@ func (n *Node) markChildGone(s *childSession, c *conn) {
 	s.gone = true
 	s.goneAt = time.Now()
 	grace := n.cfg.ReconnectGrace
+	n.record(Event{Kind: EvSever, Peer: s.name})
 	n.mu.Unlock()
 	_ = c.close()
 	if grace > 0 {
@@ -865,7 +935,7 @@ func (n *Node) connectParent() error {
 	if err != nil {
 		return fmt.Errorf("live: dial parent: %w", err)
 	}
-	c := newConn(raw, "parent", n.cfg.Faults, n.cfg.WriteTimeout)
+	c := newConn(raw, "parent", n.cfg.Faults, n.cfg.WriteTimeout, &n.wireSeq)
 
 	n.mu.Lock()
 	resume := make([]ResumePoint, 0, len(n.inflight))
@@ -876,7 +946,10 @@ func (n *Node) connectParent() error {
 	n.mu.Unlock()
 	sort.Slice(resume, func(i, j int) bool { return resume[i].Task < resume[j].Task })
 
-	if err := c.send(&message{Kind: kindHello, Name: n.cfg.Name, Resume: resume, Holding: holding}); err != nil {
+	helloWire := c.nextSeq()
+	helloSeq := n.record(Event{Kind: EvHello, Peer: "parent", WireSeq: helloWire})
+	if err := c.send(&message{Kind: kindHello, Name: n.cfg.Name, Resume: resume, Holding: holding,
+		Seq: helloWire, TraceNode: n.cfg.Name, TraceSeq: helloSeq}); err != nil {
 		_ = c.close()
 		return fmt.Errorf("live: hello: %w", err)
 	}
@@ -889,12 +962,24 @@ func (n *Node) connectParent() error {
 		_ = c.close()
 		return fmt.Errorf("live: expected hello ack, got frame kind %d", ack.Kind)
 	}
+	if ack.Name != "" {
+		// Written before the conn is published; recorder events on this
+		// link can now carry the parent's real name.
+		c.peerName = ack.Name
+	}
+	revived := int64(0)
+	if ack.Revived {
+		revived = 1
+	}
+	n.record(Event{Kind: EvHelloAck, Peer: c.label(), Value: revived, WireSeq: ack.Seq,
+		CausePeer: ack.TraceNode, CauseSeq: ack.TraceSeq})
 	accepted := make(map[uint64]bool, len(ack.Accepted))
 	for _, id := range ack.Accepted {
 		accepted[id] = true
 	}
 
 	n.mu.Lock()
+	n.parentName = ack.Name
 	// Partial transfers the parent will not resume were reclaimed on its
 	// side; drop their assembly state so a fresh stream starts clean.
 	for id := range n.inflight {
@@ -924,7 +1009,9 @@ func (n *Node) connectParent() error {
 	n.mu.Unlock()
 
 	if reqN > 0 {
-		if err := c.send(&message{Kind: kindRequest, N: reqN}); err != nil {
+		reqSeq := n.record(Event{Kind: EvRequestSent, Peer: c.label(), Value: int64(reqN)})
+		if err := c.send(&message{Kind: kindRequest, N: reqN,
+			TraceNode: n.cfg.Name, TraceSeq: reqSeq}); err != nil {
 			// The link died instantly; the supervisor will notice and
 			// retry, and the requests are owed again.
 			n.mu.Lock()
@@ -1000,6 +1087,7 @@ func (n *Node) parentSupervisor() {
 		}
 		n.mu.Lock()
 		n.parent = nil // queue outbound work until the link is back
+		n.record(Event{Kind: EvSever, Peer: c.label()})
 		n.mu.Unlock()
 		if !n.reconnect() {
 			if !n.isClosed() {
@@ -1021,6 +1109,7 @@ func (n *Node) reconnect() bool {
 			n.mu.Lock()
 			n.stats.Reconnects++
 			n.mu.Unlock()
+			n.record(Event{Kind: EvReconnect, Peer: n.parentLabel(), Value: int64(attempt)})
 			return true
 		}
 	}
@@ -1041,15 +1130,28 @@ func (n *Node) readParent(c *conn) (shutdown bool) {
 			if !ok {
 				continue
 			}
+			if m.TraceSeq != t.segment || m.TraceNode != t.segmentFrom {
+				// First chunk of a new transfer segment (fresh dispatch or
+				// a resume after preemption/reconnect on the parent side).
+				t.segment, t.segmentFrom = m.TraceSeq, m.TraceNode
+				n.record(Event{Kind: EvChunkRecv, Task: m.Task, Peer: c.label(), Off: m.Offset,
+					WireSeq: m.Seq, CausePeer: m.TraceNode, CauseSeq: m.TraceSeq})
+			}
 			complete, err := t.feed(m)
 			if err != nil {
 				n.fail(err)
 				return false
 			}
+			var recvSeq uint64
+			if complete {
+				recvSeq = n.record(Event{Kind: EvTaskReceived, Task: m.Task, Peer: c.label(),
+					Off: t.got, CausePeer: m.TraceNode, CauseSeq: m.TraceSeq})
+			}
 			// Ack every chunk: after a disconnect the parent resumes
 			// from this offset, and on the final ack responsibility for
 			// the task transfers to this subtree.
-			_ = c.send(&message{Kind: kindChunkAck, Task: m.Task, Offset: t.got, Last: complete})
+			_ = c.send(&message{Kind: kindChunkAck, Task: m.Task, Offset: t.got, Last: complete,
+				TraceNode: n.cfg.Name, TraceSeq: recvSeq})
 			if complete {
 				n.mu.Lock()
 				delete(n.inflight, m.Task)
@@ -1065,9 +1167,12 @@ func (n *Node) readParent(c *conn) (shutdown bool) {
 		case kindResultAck:
 			n.mu.Lock()
 			n.retireResultLocked(m.Task, m.Origin)
+			n.record(Event{Kind: EvResultAck, Task: m.Task, Origin: m.Origin, Peer: c.label(),
+				WireSeq: m.Seq, CausePeer: m.TraceNode, CauseSeq: m.TraceSeq})
 			n.mu.Unlock()
 			n.wake(n.resKick) // the retry timer may now rest or re-aim
 		case kindShutdown:
+			n.record(Event{Kind: EvShutdown, Peer: c.label(), WireSeq: m.Seq})
 			return true
 		case kindHeartbeat, kindHelloAck:
 			// Heartbeats only refresh the proof-of-life clock; a stray
@@ -1115,6 +1220,7 @@ func (n *Node) deliverResult(r Result) {
 
 // collectRoot hands a result to the root's Run loop.
 func (n *Node) collectRoot(r Result) {
+	n.record(Event{Kind: EvResultCollect, Task: r.ID, Origin: r.Origin})
 	select {
 	case n.results <- r:
 	case <-n.done:
@@ -1171,7 +1277,15 @@ func (n *Node) resultFlusher() {
 			n.stats.ResultsReplayed++
 			n.mu.Unlock()
 		}
-		err := c.send(&message{Kind: kindResult, Task: e.res.ID, Output: e.res.Output, Origin: e.res.Origin})
+		kind := EvResultSend
+		if replay {
+			kind = EvResultReplay
+		}
+		wire := c.nextSeq()
+		sendSeq := n.record(Event{Kind: kind, Task: e.res.ID, Origin: e.res.Origin,
+			Peer: c.label(), WireSeq: wire})
+		err := c.send(&message{Kind: kindResult, Task: e.res.ID, Output: e.res.Output, Origin: e.res.Origin,
+			Seq: wire, TraceNode: n.cfg.Name, TraceSeq: sendSeq})
 		if err == nil {
 			n.mu.Lock()
 			e.sentOn = c
@@ -1271,7 +1385,9 @@ func (n *Node) requestMore(k int) {
 		return
 	}
 	n.mu.Unlock()
-	if err := c.send(&message{Kind: kindRequest, N: k}); err != nil && !n.isClosed() {
+	reqSeq := n.record(Event{Kind: EvRequestSent, Peer: c.label(), Value: int64(k)})
+	if err := c.send(&message{Kind: kindRequest, N: k,
+		TraceNode: n.cfg.Name, TraceSeq: reqSeq}); err != nil && !n.isClosed() {
 		n.mu.Lock()
 		n.reqDeficit += k
 		n.mu.Unlock()
@@ -1311,11 +1427,15 @@ func (n *Node) computeLoop() {
 				return
 			}
 		}
+		n.record(Event{Kind: EvComputeStart, Task: t.ID})
+		started := time.Now()
 		out, err := n.cfg.Compute(t)
 		if err != nil {
 			n.fail(fmt.Errorf("live: compute task %d: %w", t.ID, err))
 			return
 		}
+		n.record(Event{Kind: EvComputeDone, Task: t.ID, Origin: n.cfg.Name,
+			Value: time.Since(started).Nanoseconds()})
 		n.mu.Lock()
 		n.stats.Computed++
 		n.mu.Unlock()

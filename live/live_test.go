@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -40,8 +43,34 @@ func startNode(t *testing.T, cfg Config) *Node {
 	if err != nil {
 		t.Fatalf("Start(%s): %v", cfg.Name, err)
 	}
-	t.Cleanup(func() { n.Close() })
+	t.Cleanup(func() {
+		dumpOnFailure(t, n)
+		n.Close()
+	})
 	return n
+}
+
+// dumpOnFailure writes the node's flight-recorder dump when the test
+// failed and BWCS_TRACE_DIR names a directory. CI's live-stress job sets
+// it and uploads the dumps (plus their bwtrace merges) as an artifact, so
+// a stall or protocol regression arrives with its causal timeline
+// attached instead of just a test name.
+func dumpOnFailure(t *testing.T, n *Node) {
+	dir := os.Getenv("BWCS_TRACE_DIR")
+	if dir == "" || !t.Failed() {
+		return
+	}
+	name := strings.NewReplacer("/", "_", " ", "_").Replace(t.Name())
+	path := filepath.Join(dir, name+"-"+n.cfg.Name+".json")
+	b, err := json.MarshalIndent(n.TraceDump(), "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, b, 0o644)
+	}
+	if err != nil {
+		t.Logf("flight-recorder dump %s: %v", path, err)
+		return
+	}
+	t.Logf("flight-recorder dump written to %s", path)
 }
 
 func TestConfigValidation(t *testing.T) {

@@ -109,6 +109,16 @@ func WithFaultPlan(p *FaultPlan) Option {
 	return func(c *Config) { c.Faults = p }
 }
 
+// WithRecorderCapacity sets the flight recorder's ring capacity in
+// events; default 8192, negative disables the recorder entirely. When the
+// ring wraps, the oldest events are evicted and counted in
+// Stats.RecorderDropped (live_recorder_dropped_total on /metrics), so a
+// dump always holds the most recent window. Dumps are served by
+// /debug/events and Node.TraceDump.
+func WithRecorderCapacity(events int) Option {
+	return func(c *Config) { c.RecorderCap = events }
+}
+
 // Start launches a node named name. A root only needs a compute function:
 //
 //	root, err := live.Start("root",

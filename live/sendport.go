@@ -54,6 +54,7 @@ func (n *Node) nextChunk() *childSession {
 		}
 		if s.active != nil {
 			n.buffer = append(n.buffer, s.active.task)
+			n.record(Event{Kind: EvRequeue, Task: s.active.task.ID, Peer: s.name})
 			s.active = nil
 			n.stats.Requeued++
 			n.wakeLocked()
@@ -66,6 +67,7 @@ func (n *Node) nextChunk() *childSession {
 			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 			for _, id := range ids {
 				n.buffer = append(n.buffer, s.outstanding[id])
+				n.record(Event{Kind: EvRequeue, Task: id, Peer: s.name})
 			}
 			n.stats.Requeued += int64(len(ids))
 			s.outstanding = make(map[uint64]Task)
@@ -118,16 +120,30 @@ func (n *Node) nextChunk() *childSession {
 	if bestFresh {
 		// Preemption accounting: starting a fresh transfer while another
 		// child's transfer is unfinished is an interruption.
+		interrupted := false
 		for _, s := range n.children {
 			if s != best && s.active != nil && !s.active.sentAll {
-				n.stats.Interrupts++
-				break
+				if !interrupted {
+					n.stats.Interrupts++
+					interrupted = true
+				}
+				// The shelved transfer's next chunk opens a new segment.
+				n.record(Event{Kind: EvChunkInterrupt, Task: s.active.task.ID,
+					Peer: s.name, Off: s.active.offset})
+				s.active.resumed = true
 			}
 		}
 		t := n.buffer[0]
 		n.buffer = n.buffer[1:]
 		best.pending--
 		best.active = &outTransfer{task: t}
+		// The dispatch decision, recorded in the same critical section that
+		// consumes the buffered task and the child's request. Value is the
+		// chosen child's measured link estimate (ns) at decision time; the
+		// send port is a single goroutine, so recorder order is exactly the
+		// order decisions and estimate updates became visible to it.
+		best.active.traceSeq = n.record(Event{Kind: EvChunkSend, Task: t.ID, Peer: best.name,
+			Value: int64(best.link.estimate() * 1e9)})
 		n.stats.Forwarded++
 		n.stats.ByChild[best.name]++
 		if !n.root {
@@ -170,6 +186,15 @@ func (n *Node) sendChunk(s *childSession) {
 	}
 	payload := tr.task.Payload
 	offset := tr.offset
+	if tr.resumed {
+		// First chunk after a preemption, reconnect resume, or
+		// retransmit-from-top: a new transfer segment begins here, and its
+		// trace context replaces the original dispatch's on the wire.
+		tr.traceSeq = n.record(Event{Kind: EvChunkResume, Task: tr.task.ID,
+			Peer: s.name, Off: offset})
+		tr.resumed = false
+	}
+	traceSeq := tr.traceSeq
 	n.mu.Unlock()
 
 	end := offset + n.cfg.ChunkSize
@@ -178,12 +203,14 @@ func (n *Node) sendChunk(s *childSession) {
 	}
 	last := end == len(payload)
 	m := &message{
-		Kind:   kindChunk,
-		Task:   tr.task.ID,
-		Size:   len(payload),
-		Offset: offset,
-		Data:   payload[offset:end],
-		Last:   last,
+		Kind:      kindChunk,
+		Task:      tr.task.ID,
+		Size:      len(payload),
+		Offset:    offset,
+		Data:      payload[offset:end],
+		Last:      last,
+		TraceNode: n.cfg.Name,
+		TraceSeq:  traceSeq,
 	}
 
 	if n.cfg.LinkDelay != nil {

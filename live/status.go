@@ -40,6 +40,9 @@ type statusServer struct {
 //
 //	/status        the node's statistics as JSON (StatusSnapshot)
 //	/metrics       the same counters in Prometheus text format
+//	/debug/events  the flight recorder's event dump as JSON (TraceDump);
+//	               ?follow=1 streams new events as NDJSON until the
+//	               client disconnects or the node closes
 //	/debug/pprof/  the standard net/http/pprof profiling handlers
 //
 // The endpoints are read-only introspection for operating a deployed
@@ -53,12 +56,22 @@ func (n *Node) ServeStatus(addr string) (string, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", ss.handle)
 	mux.HandleFunc("/metrics", ss.handleMetrics)
+	mux.HandleFunc("/debug/events", ss.handleEvents)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	ss.srv = &http.Server{Handler: mux}
+	ss.srv = &http.Server{
+		Handler: mux,
+		// Slowloris guard: a client must deliver its request header
+		// promptly. Response writes are deliberately unbounded — pprof
+		// profiles and ?follow=1 event streams run for as long as the
+		// client asks — so only the read side carries deadlines.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	n.mu.Lock()
 	if n.status != nil {
@@ -139,6 +152,52 @@ func (s *statusServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = metricsSnapshot(st, buffered, connected, children, time.Since(s.started)).WritePrometheus(w)
 }
 
+// handleEvents serves the flight recorder. A plain GET returns the full
+// TraceDump as JSON — the document cmd/bwtrace merges. With ?follow=1 the
+// response is an NDJSON stream of events (one Event per line), starting
+// from the oldest retained and polling for new ones until the client
+// disconnects or the node closes; events evicted between polls appear as
+// gaps in seq.
+func (s *statusServer) handleEvents(w http.ResponseWriter, r *http.Request) {
+	n := s.node
+	if r.URL.Query().Get("follow") == "" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(n.TraceDump())
+		return
+	}
+	if n.rec == nil {
+		http.Error(w, "live: flight recorder disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	t := time.NewTicker(50 * time.Millisecond)
+	defer t.Stop()
+	var cursor uint64
+	for {
+		evs, next := n.rec.since(cursor)
+		cursor = next
+		for i := range evs {
+			if err := enc.Encode(&evs[i]); err != nil {
+				return
+			}
+		}
+		if len(evs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			return
+		case <-n.done:
+			return
+		}
+	}
+}
+
 // metricsSnapshot converts a Stats snapshot (plus point-in-time gauges)
 // into a renderable metric set. Factored out so tests can assert the
 // exact exposition against a Stats value.
@@ -163,6 +222,7 @@ func metricsSnapshot(st Stats, buffered, connected, children int64, uptime time.
 		counter("live_results_replayed_total", "unacked results retransmitted (reconnect replay or retry)", st.ResultsReplayed),
 		counter("live_results_deduped_total", "duplicate results suppressed before relay or collection", st.ResultsDeduped),
 		counter("live_tasks_requeued_on_revive_total", "tasks requeued by revive-time reconciliation", st.RequeuedOnRevive),
+		counter("live_recorder_dropped_total", "flight-recorder events evicted by ring overflow", st.RecorderDropped),
 		gauge("live_buffered_tasks", "tasks currently buffered", buffered),
 		gauge("live_queued_peak", "most tasks simultaneously buffered", int64(st.MaxQueued)),
 		gauge("live_connected", "whether the uplink is established (always 1 at the root)", connected),

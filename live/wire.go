@@ -96,6 +96,19 @@ type message struct {
 	// the sender's ledger key.
 	Output []byte
 	Origin string // name of the node that computed the task
+
+	// Trace context (appended fields — kind values are unchanged, and gob
+	// ignores fields one side does not declare, so old-format frames
+	// decode with zero trace context and old peers skip these).
+	//
+	// Seq is a node-unique wire sequence number stamped on every frame
+	// the node sends. TraceNode and TraceSeq name the flight-recorder
+	// event on the sending node that caused this frame, so a receive
+	// event on one node links to the causal send event on its peer
+	// (CausePeer/CauseSeq in the recorder's Event).
+	Seq       uint64
+	TraceNode string
+	TraceSeq  uint64
 }
 
 // conn wraps a network connection with gob codecs and a write lock so
@@ -104,19 +117,29 @@ type message struct {
 // state: the receive timestamp heartbeat monitors watch, the per-message
 // write deadline, and the fault-injection plan consulted on every frame.
 type conn struct {
-	raw      net.Conn
-	enc      *gob.Encoder
-	dec      *gob.Decoder
-	wmu      sync.Mutex
-	peer     string // remote node name; "parent" on an uplink
+	raw net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	wmu sync.Mutex
+	// peer is the fault-plan link selector: the remote node's name for
+	// child links, the literal "parent" on an uplink. peerName is the
+	// remote node's actual name for flight-recorder events; it is written
+	// once during the handshake, before the conn is published to other
+	// goroutines, and falls back to peer while unknown.
+	peer     string
+	peerName string
 	faults   *FaultPlan
 	writeTO  time.Duration
+	// wireSeq stamps outbound frames with a node-unique sequence number;
+	// it points at the owning node's counter so numbering survives
+	// reconnects (one conn is replaced, the numbering is not).
+	wireSeq  *atomic.Uint64
 	lastRecv atomic.Int64 // unix nanos of the last inbound frame
 	stop     chan struct{}
 	stopOnce sync.Once
 }
 
-func newConn(raw net.Conn, peer string, faults *FaultPlan, writeTO time.Duration) *conn {
+func newConn(raw net.Conn, peer string, faults *FaultPlan, writeTO time.Duration, wireSeq *atomic.Uint64) *conn {
 	c := &conn{
 		raw:     raw,
 		enc:     gob.NewEncoder(raw),
@@ -124,10 +147,25 @@ func newConn(raw net.Conn, peer string, faults *FaultPlan, writeTO time.Duration
 		peer:    peer,
 		faults:  faults,
 		writeTO: writeTO,
+		wireSeq: wireSeq,
 		stop:    make(chan struct{}),
 	}
 	c.lastRecv.Store(time.Now().UnixNano())
 	return c
+}
+
+// label is the conn's display name for flight-recorder events.
+func (c *conn) label() string {
+	if c.peerName != "" {
+		return c.peerName
+	}
+	return c.peer
+}
+
+// nextSeq pre-assigns a wire sequence number so a caller can record the
+// frame's flight-recorder event before handing it to send.
+func (c *conn) nextSeq() uint64 {
+	return c.wireSeq.Add(1)
 }
 
 // errFaultSevered reports a connection cut by the fault-injection plan; it
@@ -138,6 +176,9 @@ var errFaultSevered = fmt.Errorf("live: connection severed by fault plan")
 // send writes one message, serialized with the connection's write lock and
 // bounded by the per-message write deadline.
 func (c *conn) send(m *message) error {
+	if m.Seq == 0 {
+		m.Seq = c.wireSeq.Add(1)
+	}
 	if c.faults != nil {
 		switch op, d := c.faults.decide(FaultSend, c.peer, FrameKind(m.Kind)); op {
 		case FaultDrop:
@@ -209,6 +250,11 @@ type inTransfer struct {
 	id      uint64
 	payload []byte
 	got     int
+	// segment/segmentFrom track the trace context of the last chunk, so
+	// the flight recorder logs one receive event per transfer segment
+	// (the first chunk after each dispatch or resume on the sender).
+	segment     uint64
+	segmentFrom string
 }
 
 // feed applies one chunk and reports whether the task is complete.

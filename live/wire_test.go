@@ -62,6 +62,65 @@ func TestResultAckRoundTrip(t *testing.T) {
 	}
 }
 
+// legacyMessage is the wire envelope as it existed before the trace
+// context was appended — no Seq, TraceNode, or TraceSeq. Gob matches
+// struct fields by name and ignores ones either side does not declare, so
+// old-format frames must keep decoding into the current message (with
+// zero trace context) and new frames must keep decoding on old peers.
+type legacyMessage struct {
+	Kind     msgKind
+	Name     string
+	Resume   []ResumePoint
+	Holding  []uint64
+	Revived  bool
+	Accepted []uint64
+	N        int
+	Task     uint64
+	Size     int
+	Offset   int
+	Data     []byte
+	Last     bool
+	Output   []byte
+	Origin   string
+}
+
+// TestWireTraceContextBackCompat pins both directions of the gob
+// evolution contract for the appended trace-context fields.
+func TestWireTraceContextBackCompat(t *testing.T) {
+	// Old peer → new node: a pre-trace frame decodes with zero context.
+	var buf bytes.Buffer
+	old := legacyMessage{Kind: kindChunk, Task: 7, Size: 4, Offset: 0, Data: []byte{1, 2, 3, 4}, Last: true}
+	if err := gob.NewEncoder(&buf).Encode(&old); err != nil {
+		t.Fatalf("encode legacy: %v", err)
+	}
+	var got message
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("decode legacy into current message: %v", err)
+	}
+	if got.Kind != kindChunk || got.Task != 7 || !got.Last || len(got.Data) != 4 {
+		t.Errorf("legacy frame mangled: %+v", got)
+	}
+	if got.Seq != 0 || got.TraceNode != "" || got.TraceSeq != 0 {
+		t.Errorf("legacy frame grew trace context from nowhere: %+v", got)
+	}
+
+	// New node → old peer: a trace-stamped frame decodes on a peer that
+	// does not declare the fields.
+	buf.Reset()
+	stamped := message{Kind: kindResult, Task: 9, Output: []byte{5}, Origin: "w1",
+		Seq: 42, TraceNode: "w1", TraceSeq: 17}
+	if err := gob.NewEncoder(&buf).Encode(&stamped); err != nil {
+		t.Fatalf("encode stamped: %v", err)
+	}
+	var back legacyMessage
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatalf("decode stamped into legacy message: %v", err)
+	}
+	if back.Kind != kindResult || back.Task != 9 || back.Origin != "w1" {
+		t.Errorf("stamped frame mangled on a legacy peer: %+v", back)
+	}
+}
+
 func TestInTransferAssembly(t *testing.T) {
 	tr := &inTransfer{id: 1}
 	// Three chunks of a 10-byte payload.
