@@ -30,12 +30,27 @@
 //
 // # Quick start
 //
+// Work is described as Workloads — one per application (tenant) sharing
+// the platform — and evaluated with EvaluateWorkloads. The paper's
+// single-application experiments are the one-workload special case:
+//
 //	t := bwcs.NewTree(10)                  // root computes a task in 10
 //	t.AddChild(t.Root(), 5, 1)             // fast link, medium CPU
 //	t.AddChild(t.Root(), 2, 8)             // slow link, fast CPU
-//	sum, err := bwcs.Evaluate(t, bwcs.IC(3), 10_000)
-//	// sum.Optimal.Rate — the provably optimal steady-state rate
-//	// sum.Reached      — did the autonomous protocol attain it?
+//	m, err := bwcs.EvaluateWorkloads(ctx, t, bwcs.IC(3), []bwcs.Workload{
+//		{App: "batch", Tasks: 8_000, Weight: 1},
+//		{App: "interactive", Tasks: 2_000, Weight: 3},
+//	})
+//	// m.Optimal.Rate       — the provably optimal steady-state rate
+//	// m.Aggregate.Reached  — did the platform attain it overall?
+//	// m.Apps[1].Share      — the tenant's measured mid-run share
+//	// m.Fairness           — Jain's index of weighted fair sharing
+//
+// Run-level knobs (seeds, mid-run mutations, checkpoints, tracing,
+// metrics) are functional options shared by every entry point:
+// EvaluateWorkloads(ctx, t, p, ws, bwcs.WithSeed(7), bwcs.WithMetrics(&m)).
+// Evaluate is the single-workload shorthand, and Simulate exposes the raw
+// engine run without the analysis.
 //
 // The full evaluation of the paper (every figure and table) lives in the
 // bwexp command; see EXPERIMENTS.md for measured-versus-paper results.
@@ -225,7 +240,10 @@ type Summary struct {
 }
 
 // Evaluate runs protocol p on tree t for the given number of tasks and
-// analyzes the run against the tree's optimal steady-state rate.
+// analyzes the run against the tree's optimal steady-state rate. It is a
+// thin single-workload shim over the same machinery as EvaluateWorkloads:
+// Evaluate(t, p, n) is event-for-event the run EvaluateWorkloads performs
+// for one workload of n tasks.
 //
 // Evaluate uses the inclusive onset detector (windowed rate at or above
 // optimal, twice after the threshold window): platforms whose schedules
@@ -234,29 +252,46 @@ type Summary struct {
 // discrete completions wiggle around the rate — would misclassify them.
 // The experiment harness (bwexp, internal/experiments) keeps the strict
 // detector for paper fidelity.
-func Evaluate(t *Tree, p Protocol, tasks int64) (*Summary, error) {
-	return EvaluateContext(context.Background(), t, p, tasks)
+//
+// Deprecated-in-spirit: the positional form predates Workloads and is
+// kept so existing call sites compile unchanged; new code should call
+// EvaluateWorkloads, which subsumes it.
+func Evaluate(t *Tree, p Protocol, tasks int64, opts ...Option) (*Summary, error) {
+	return EvaluateContext(context.Background(), t, p, tasks, opts...)
 }
 
 // EvaluateContext is Evaluate under a context: long simulations of large
 // platforms poll ctx every few thousand simulator events, so deadlines
 // and interactive cancellation (ctrl-c) take effect mid-run instead of
 // after the sweep drains. A canceled run returns a wrapped ctx.Err().
-func EvaluateContext(ctx context.Context, t *Tree, p Protocol, tasks int64) (*Summary, error) {
+//
+// Like Evaluate, this is the legacy positional single-workload form;
+// prefer EvaluateWorkloads in new code.
+func EvaluateContext(ctx context.Context, t *Tree, p Protocol, tasks int64, opts ...Option) (*Summary, error) {
 	if tasks < 2 {
 		return nil, fmt.Errorf("bwcs: need at least 2 tasks, got %d", tasks)
 	}
-	res, err := engine.Run(engine.Config{Tree: t, Protocol: p, Tasks: tasks, Ctx: ctx})
+	s := newEvalSettings(opts)
+	s.cfg.Tree, s.cfg.Protocol, s.cfg.Tasks, s.cfg.Ctx = t, p, tasks, ctx
+	res, err := engine.Run(s.cfg)
 	if err != nil {
 		return nil, err
 	}
-	opt := optimal.Compute(t)
+	if s.metrics != nil {
+		*s.metrics = res.Metrics
+	}
+	return summarize(res, optimal.Compute(t), s.threshold)
+}
+
+// summarize performs the steady-state analysis shared by Evaluate and
+// EvaluateWorkloads' aggregate view.
+func summarize(res *SimResult, opt *Allocation, threshold int) (*Summary, error) {
 	series, err := window.New(res.Completions, opt.TreeWeight)
 	if err != nil {
 		return nil, err
 	}
 	s := &Summary{Result: res, Optimal: opt, Series: series}
-	s.Onset, s.Reached = series.OnsetInclusive(OnsetThreshold)
+	s.Onset, s.Reached = series.OnsetInclusive(threshold)
 	s.Steady = steady.Detect(res.Completions, steady.Options{})
 	s.Class = s.Steady.Classify(opt.TreeWeight)
 	return s, nil

@@ -11,9 +11,9 @@
 //	bwexp -exp fig4 -cpuprofile cpu.pb.gz   # profile a sweep (also -memprofile, -trace)
 //
 // Experiments: fig3 fig4 fig5 fig6 fig7 table1 table2 ablation-policy
-// ablation-interrupt ablation-decay churn detector overlay overlay-improve
-// all. Figure 6 and Table 1 reuse Figure 4's populations, so "-exp all"
-// runs those simulations once.
+// ablation-interrupt ablation-decay churn detector fairness overlay
+// overlay-improve all. Figure 6 and Table 1 reuse Figure 4's populations,
+// so "-exp all" runs those simulations once.
 package main
 
 import (
@@ -105,7 +105,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bwexp", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment id: fig3 fig4 fig5 fig6 fig7 table1 table2 ablation-policy ablation-interrupt ablation-decay churn detector overlay overlay-improve all")
+		exp       = fs.String("exp", "all", "experiment id: fig3 fig4 fig5 fig6 fig7 table1 table2 ablation-policy ablation-interrupt ablation-decay churn detector fairness overlay overlay-improve all")
 		trees     = fs.Int("trees", 0, "population size (0 = experiment default)")
 		tasks     = fs.Int64("tasks", 0, "application size (0 = experiment default)")
 		seed      = fs.Uint64("seed", 0, "generator seed (0 = default)")
@@ -191,7 +191,7 @@ func run(args []string, out io.Writer) error {
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"fig3", "fig4", "table1", "fig6", "fig5", "table2", "fig7", "ablation-policy", "ablation-interrupt", "ablation-decay", "churn", "detector", "overlay", "overlay-improve"}
+		ids = []string{"fig3", "fig4", "table1", "fig6", "fig5", "table2", "fig7", "ablation-policy", "ablation-interrupt", "ablation-decay", "churn", "detector", "fairness", "overlay", "overlay-improve"}
 	}
 
 	// Figure 4's populations back Table 1 and Figure 6.
@@ -286,6 +286,15 @@ func run(args []string, out io.Writer) error {
 		case "churn":
 			var r *experiments.ChurnResult
 			if r, err = experiments.Churn(o, *churn); err == nil {
+				err = r.Render(out)
+			}
+		case "fairness":
+			fo := o
+			if *trees == 0 && fo.Trees > 150 {
+				fo.Trees = 150 // 7 tenant counts × population; keep the sweep interactive
+			}
+			var r *experiments.FairnessResult
+			if r, err = experiments.Fairness(fo); err == nil {
 				err = r.Render(out)
 			}
 		case "detector":

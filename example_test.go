@@ -1,6 +1,7 @@
 package bwcs_test
 
 import (
+	"context"
 	"fmt"
 
 	"bwcs"
@@ -46,6 +47,37 @@ func ExampleEvaluate() {
 	// reached optimal: true
 	// steady class: optimal
 	// exact steady rate: 1
+}
+
+// Two tenants share one platform under weighted bandwidth-centric
+// scheduling: the heavier-weighted application receives proportionally
+// more of the platform's optimal rate, while the merged stream behaves
+// exactly like a single application of the combined size.
+func ExampleEvaluateWorkloads() {
+	t := bwcs.NewTree(4)
+	t.AddChild(t.Root(), 2, 1)
+	t.AddChild(t.Root(), 2, 2)
+
+	m, err := bwcs.EvaluateWorkloads(context.Background(), t, bwcs.IC(3), []bwcs.Workload{
+		{App: "batch", Tasks: 1000, Weight: 1},
+		{App: "interactive", Tasks: 3000, Weight: 3},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("aggregate reached optimal:", m.Aggregate.Reached)
+	fmt.Println("aggregate steady rate:", m.Aggregate.Steady.Rate)
+	for _, a := range m.Apps {
+		fmt.Printf("%s: weight %d, share %.2f\n", a.App, a.Weight, a.Share)
+	}
+	fmt.Printf("fairness: %.3f\n", m.Fairness)
+	// Output:
+	// aggregate reached optimal: true
+	// aggregate steady rate: 1
+	// batch: weight 1, share 0.25
+	// interactive: weight 3, share 0.75
+	// fairness: 1.000
 }
 
 // Platforms change while applications run; the protocol adapts because

@@ -52,6 +52,9 @@ import (
 const (
 	evSendComplete sim.Kind = iota + 1
 	evComputeComplete
+	// evAppRelease opens a workload's pool at its scheduled release time
+	// (multi-application runs only); Node carries the application index.
+	evAppRelease
 )
 
 const noChild int32 = -1
@@ -94,7 +97,15 @@ type DepartMutation struct {
 type Config struct {
 	Tree     *tree.Tree
 	Protocol protocol.Protocol
-	Tasks    int64 // number of application tasks at the root
+	Tasks    int64 // number of application tasks at the root (single-application form)
+
+	// Workloads runs several applications concurrently over the one tree
+	// with weighted bandwidth-centric sharing (see Workload). Mutually
+	// exclusive with Tasks: a Config sets one or the other. Single-
+	// application callers keep using Tasks; the engine behaves
+	// identically either way (a one-workload run is event-for-event the
+	// Tasks run, with tags riding along).
+	Workloads []Workload
 
 	// Seed feeds the Random child-selection order; unused otherwise.
 	Seed uint64
@@ -163,6 +174,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Tasks < 0 {
 		return fmt.Errorf("engine: negative task count %d", c.Tasks)
+	}
+	if err := validateWorkloads(c.Workloads, c.Tasks); err != nil {
+		return err
 	}
 	if !slices.IsSorted(c.Checkpoints) {
 		return fmt.Errorf("engine: checkpoints must be ascending")
@@ -251,6 +265,9 @@ type Result struct {
 	// SkippedMutations counts mutations and attachments that targeted a
 	// node which had already departed and were therefore ignored.
 	SkippedMutations int
+	// Apps is the per-application breakdown of a multi-workload run, in
+	// Config.Workloads order; nil for single-application (Tasks) runs.
+	Apps []AppResult
 	// Metrics is the run's engine-wide instrumentation snapshot.
 	Metrics Metrics
 }
@@ -314,11 +331,13 @@ func (r *Result) TotalBuffers() int64 {
 }
 
 // shelf is a preempted transfer: remaining send time to a child, plus the
-// request-arrival time that FCFS ordering uses.
+// request-arrival time that FCFS ordering uses and the application tag of
+// the task in flight.
 type shelf struct {
 	child     int32
 	remaining sim.Time
 	since     sim.Time
+	app       int32
 }
 
 // nodeState is the runtime state of one platform node.
@@ -352,6 +371,16 @@ type nodeState struct {
 
 	computeEv *sim.Event // pending compute completion, for cancellation
 
+	// Multi-application tagging (nil / unused in single-application
+	// runs): occApp[a] is how many of the occupied tasks belong to
+	// application a, appCredit the node's weighted round-robin state, and
+	// computingApp / sendingApp tag the tasks on the compute port and in
+	// flight at the send port.
+	occApp       []int64
+	appCredit    []int64
+	computingApp int32
+	sendingApp   int32
+
 	// Decay bookkeeping: decayStreak counts completions since the buffers
 	// last ran empty; pendingDecay buffers will be retired as they free.
 	decayStreak  int64
@@ -377,6 +406,17 @@ type engine struct {
 	skippedMut  int
 	completed   int64
 	completions []sim.Time
+
+	// Multi-application state (empty in single-application runs): one
+	// released pool, weight, completion stream and requeue counter per
+	// workload. totalTasks is the sum over workloads (== cfg.Tasks in
+	// single-application runs).
+	multi          bool
+	totalTasks     int64
+	pools          []int64
+	appWeights     []int64
+	appCompletions [][]sim.Time
+	appRequeued    []int64
 	checkpoints []CheckpointStat
 	mutIdx      int
 	attIdx      int
@@ -393,18 +433,44 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	e := &engine{
-		cfg:   cfg,
-		t:     cfg.Tree.Clone(),
-		pool:  cfg.Tasks,
-		trace: cfg.Tracer,
+		cfg:        cfg,
+		t:          cfg.Tree.Clone(),
+		pool:       cfg.Tasks,
+		totalTasks: cfg.Tasks,
+		trace:      cfg.Tracer,
 	}
 	e.s = sim.New(e)
 	if cfg.Protocol.Order == protocol.Random {
 		e.rng = rand.New(rand.NewPCG(cfg.Seed, 0xda3e39cb94b95bdb))
 	}
-	e.completions = make([]sim.Time, 0, cfg.Tasks)
+	if len(cfg.Workloads) > 0 {
+		e.multi = true
+		e.pool = 0
+		e.totalTasks = 0
+		e.pools = make([]int64, len(cfg.Workloads))
+		e.appWeights = make([]int64, len(cfg.Workloads))
+		e.appCompletions = make([][]sim.Time, len(cfg.Workloads))
+		e.appRequeued = make([]int64, len(cfg.Workloads))
+		for a, w := range cfg.Workloads {
+			e.totalTasks += w.Tasks
+			e.appWeights[a] = w.weight()
+			e.appCompletions[a] = make([]sim.Time, 0, w.Tasks)
+			if w.Release <= 0 {
+				e.pools[a] = w.Tasks
+				e.pool += w.Tasks
+			}
+		}
+	}
+	e.completions = make([]sim.Time, 0, e.totalTasks)
 
 	e.initNodes(0)
+
+	// Workloads arriving mid-run open their pools at their release times.
+	for a, w := range cfg.Workloads {
+		if w.Release > 0 {
+			e.s.Schedule(w.Release, evAppRelease, int32(a), 0)
+		}
+	}
 
 	// All nodes issue their initial requests (one per empty buffer) before
 	// anyone acts, so t=0 scheduling sees the complete picture rather than
@@ -419,11 +485,11 @@ func Run(cfg Config) (*Result, error) {
 	if err := e.runEvents(); err != nil {
 		return nil, err
 	}
-	if cfg.MaxSteps > 0 && e.s.Steps() >= cfg.MaxSteps && e.completed < cfg.Tasks {
-		return nil, fmt.Errorf("engine: aborted after %d steps with %d/%d tasks complete", e.s.Steps(), e.completed, cfg.Tasks)
+	if cfg.MaxSteps > 0 && e.s.Steps() >= cfg.MaxSteps && e.completed < e.totalTasks {
+		return nil, fmt.Errorf("engine: aborted after %d steps with %d/%d tasks complete", e.s.Steps(), e.completed, e.totalTasks)
 	}
-	if e.completed != cfg.Tasks {
-		return nil, fmt.Errorf("engine: deadlock: simulation drained with %d/%d tasks complete", e.completed, cfg.Tasks)
+	if e.completed != e.totalTasks {
+		return nil, fmt.Errorf("engine: deadlock: simulation drained with %d/%d tasks complete", e.completed, e.totalTasks)
 	}
 
 	res := &Result{
@@ -435,6 +501,19 @@ func Run(cfg Config) (*Result, error) {
 		Steps:            e.s.Steps(),
 		Requeued:         e.requeued,
 		SkippedMutations: e.skippedMut,
+	}
+	if e.multi {
+		res.Apps = make([]AppResult, len(cfg.Workloads))
+		for a, w := range cfg.Workloads {
+			res.Apps[a] = AppResult{
+				App:         w.App,
+				Weight:      w.weight(),
+				Release:     w.Release,
+				Tasks:       w.Tasks,
+				Completions: e.appCompletions[a],
+				Requeued:    e.appRequeued[a],
+			}
+		}
 	}
 	for i := range e.nodes {
 		res.Nodes[i] = e.nodes[i].stat
@@ -474,7 +553,7 @@ func (e *engine) runEvents() error {
 	for {
 		if err := e.cfg.Ctx.Err(); err != nil {
 			return fmt.Errorf("engine: run canceled after %d events with %d/%d tasks complete: %w",
-				e.s.Steps(), e.completed, e.cfg.Tasks, err)
+				e.s.Steps(), e.completed, e.totalTasks, err)
 		}
 		limit := uint64(ctxCheckEvery)
 		if e.cfg.MaxSteps > 0 {
@@ -517,6 +596,12 @@ func (e *engine) initNodes(from int) {
 		for i, k := range kids {
 			ns.children[i] = int32(k)
 		}
+		if e.multi {
+			ns.occApp = make([]int64, len(e.cfg.Workloads))
+			ns.appCredit = make([]int64, len(e.cfg.Workloads))
+			ns.sendingApp = -1
+			ns.computingApp = -1
+		}
 	}
 	// Parents of newly attached nodes gain children; refresh child lists
 	// for all pre-existing nodes too (cheap relative to a run).
@@ -539,6 +624,8 @@ func (e *engine) Handle(ev *sim.Event) {
 		e.onSendComplete(ev.Node, ev.Child)
 	case evComputeComplete:
 		e.onComputeComplete(ev.Node)
+	case evAppRelease:
+		e.onAppRelease(ev.Node)
 	default:
 		panic(fmt.Sprintf("engine: unknown event kind %d", ev.Kind))
 	}
@@ -554,19 +641,32 @@ func (e *engine) hasTask(n int32) bool {
 
 // takeTask removes one task from n's buffers (or the root pool) for
 // immediate use, firing the freed-buffer request and the G1 growth check.
-func (e *engine) takeTask(n int32) {
+// It returns the application tag of the task taken — always 0 for
+// single-application runs; for multi-workload runs the weighted
+// round-robin picks among the applications with a task available here.
+func (e *engine) takeTask(n int32) int32 {
+	var app int32
+	if e.multi {
+		app = e.pickApp(n)
+	}
 	if n == 0 {
 		if e.pool <= 0 {
 			panic("engine: takeTask on empty pool")
 		}
 		e.pool--
-		return
+		if e.multi {
+			e.pools[app]--
+		}
+		return app
 	}
 	ns := &e.nodes[n]
 	if ns.occupied <= 0 {
 		panic("engine: takeTask on empty buffers")
 	}
 	ns.occupied--
+	if e.multi {
+		ns.occApp[app]--
+	}
 	if ns.occupied == 0 {
 		// Starvation observed: reset the decay observation window.
 		ns.decayStreak = 0
@@ -584,6 +684,7 @@ func (e *engine) takeTask(n int32) {
 	if ns.occupied == 0 && ns.childReqCount > 0 {
 		e.growBuffer(n)
 	}
+	return app
 }
 
 // request sends one task request from node n to its parent. Requests are
@@ -647,10 +748,14 @@ func (e *engine) onSendComplete(p, c int32) {
 	if ps.sending != c {
 		panic("engine: send completion for wrong child")
 	}
+	app := ps.sendingApp
 	ps.sending = noChild
 	ps.sendEv = nil
 	cs.incoming = false
 	cs.occupied++
+	if e.multi {
+		cs.occApp[app]++
+	}
 	if cs.occupied > cs.maxOccupied {
 		cs.maxOccupied = cs.occupied
 	}
@@ -684,6 +789,10 @@ func (e *engine) onComputeComplete(n int32) {
 	e.decayTick(n)
 	e.completed++
 	e.completions = append(e.completions, e.s.Now())
+	if e.multi {
+		a := ns.computingApp
+		e.appCompletions[a] = append(e.appCompletions[a], e.s.Now())
+	}
 	if e.trace != nil {
 		e.trace.ComputeDone(e.s.Now(), tree.NodeID(n), e.completed)
 	}
@@ -793,7 +902,10 @@ func (e *engine) trySchedule(n int32) {
 	// CPU: the node itself is the highest-priority consumer (its
 	// "communication time" is zero).
 	if !ns.computing && e.hasTask(n) {
-		e.takeTask(n)
+		app := e.takeTask(n)
+		if e.multi {
+			ns.computingApp = app
+		}
 		ns.computing = true
 		e.met.ComputesStarted++
 		ns.computeEv = e.s.Schedule(sim.Time(e.t.W(tree.NodeID(n))), evComputeComplete, n, 0)
@@ -816,7 +928,7 @@ func (e *engine) trySchedule(n int32) {
 		}
 		// Preempt: shelve the in-flight transfer with its remaining time.
 		remaining := e.s.Cancel(ns.sendEv)
-		ns.shelves = append(ns.shelves, shelf{child: ns.sending, remaining: remaining, since: ns.sendSince})
+		ns.shelves = append(ns.shelves, shelf{child: ns.sending, remaining: remaining, since: ns.sendSince, app: ns.sendingApp})
 		if len(ns.shelves) > ns.stat.MaxShelved {
 			ns.stat.MaxShelved = len(ns.shelves)
 		}
@@ -847,6 +959,7 @@ func (e *engine) startSend(n, c int32, fromShelf bool) {
 				ns.shelves = append(ns.shelves[:i], ns.shelves[i+1:]...)
 				ns.sending = c
 				ns.sendSince = sh.since
+				ns.sendingApp = sh.app
 				e.met.SendsResumed++
 				ns.sendEv = e.s.Schedule(sh.remaining, evSendComplete, n, c)
 				if e.trace != nil {
@@ -869,7 +982,10 @@ func (e *engine) startSend(n, c int32, fromShelf bool) {
 		cs.reqSince = e.s.Now()
 	}
 	cs.incoming = true
-	e.takeTask(n)
+	app := e.takeTask(n)
+	if e.multi {
+		ns.sendingApp = app
+	}
 	ns.stat.Forwarded++
 	ns.sending = c
 	ns.sendSince = since
@@ -1018,18 +1134,28 @@ func (e *engine) depart(node tree.NodeID) {
 	}
 
 	var lost int64
+	var lostApp []int64
+	if e.multi {
+		lostApp = make([]int64, len(e.cfg.Workloads))
+	}
 
 	// Parent side first: cancel or unshelve the transfer toward the
 	// departing root and drop its outstanding requests.
 	n32 := int32(node)
 	if ps.sending == n32 {
 		e.s.Cancel(ps.sendEv)
+		if e.multi {
+			lostApp[ps.sendingApp]++
+		}
 		ps.sending = noChild
 		ps.sendEv = nil
 		lost++
 	}
 	for i := 0; i < len(ps.shelves); i++ {
 		if ps.shelves[i].child == n32 {
+			if e.multi {
+				lostApp[ps.shelves[i].app]++
+			}
 			ps.shelves = append(ps.shelves[:i], ps.shelves[i+1:]...)
 			lost++
 			break
@@ -1052,19 +1178,36 @@ func (e *engine) depart(node tree.NodeID) {
 		ns.stat.Departed = true
 		lost += ns.occupied
 		ns.occupied = 0
+		if e.multi {
+			for a, k := range ns.occApp {
+				lostApp[a] += k
+				ns.occApp[a] = 0
+			}
+		}
 		if ns.computing {
 			e.s.Cancel(ns.computeEv)
+			if e.multi {
+				lostApp[ns.computingApp]++
+			}
 			ns.computing = false
 			ns.computeEv = nil
 			lost++
 		}
 		if ns.sending != noChild {
 			e.s.Cancel(ns.sendEv)
+			if e.multi {
+				lostApp[ns.sendingApp]++
+			}
 			ns.sending = noChild
 			ns.sendEv = nil
 			lost++
 		}
 		lost += int64(len(ns.shelves))
+		if e.multi {
+			for i := range ns.shelves {
+				lostApp[ns.shelves[i].app]++
+			}
+		}
 		ns.shelves = nil
 		ns.reqPending = 0
 		ns.childReqCount = 0
@@ -1072,6 +1215,12 @@ func (e *engine) depart(node tree.NodeID) {
 
 	e.pool += lost
 	e.requeued += lost
+	if e.multi {
+		for a, k := range lostApp {
+			e.pools[a] += k
+			e.appRequeued[a] += k
+		}
+	}
 	// The replenished pool and the parent's freed port may enable work.
 	e.trySchedule(parent)
 	if parent != 0 {

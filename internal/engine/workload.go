@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"fmt"
+
+	"bwcs/internal/sim"
+)
+
+// Workload describes one application (tenant) sharing the platform. The
+// paper schedules exactly one application per tree; a Config carrying
+// Workloads schedules several concurrently: every task is tagged with the
+// application it belongs to, the root keeps one pool per application, and
+// each send or compute decision that consumes a task picks the
+// application by weighted round-robin before the paper's bandwidth-centric
+// child priority decides where the task goes. Tagging never perturbs the
+// aggregate schedule: child selection, buffer growth and decay all depend
+// only on untagged totals, so a multi-application run completes tasks at
+// exactly the times a single application of the same total size would.
+type Workload struct {
+	// App names the application; names must be unique and non-empty.
+	App string
+	// Tasks is the number of tasks this application brings.
+	Tasks int64
+	// Weight is the application's sharing weight; the weighted round-robin
+	// dispatches tasks of concurrently eligible applications in proportion
+	// to their weights. Zero means 1.
+	Weight int64
+	// Release is the simulated time at which the application's pool opens
+	// at the root; zero releases it at the start. Releases let tenants
+	// join a platform mid-run.
+	Release sim.Time
+}
+
+// weight returns the effective sharing weight (zero-valued means 1).
+func (w Workload) weight() int64 {
+	if w.Weight <= 0 {
+		return 1
+	}
+	return w.Weight
+}
+
+// AppResult is the per-application slice of a multi-workload Result.
+type AppResult struct {
+	// App, Weight and Release echo the workload (Weight normalized: the
+	// zero value reports as 1).
+	App     string
+	Weight  int64
+	Release sim.Time
+	// Tasks is the application's task count; Completions[k] is the time
+	// its (k+1)'th task completed, ascending. Every application's tasks
+	// all complete: len(Completions) == Tasks.
+	Tasks       int64
+	Completions []sim.Time
+	// Requeued counts this application's tasks returned to the root's
+	// pool by departures and re-dispatched.
+	Requeued int64
+}
+
+// validateWorkloads checks the Workloads field of a Config.
+func validateWorkloads(ws []Workload, tasks int64) error {
+	if len(ws) == 0 {
+		return nil
+	}
+	if tasks != 0 {
+		return fmt.Errorf("engine: set Tasks or Workloads, not both")
+	}
+	seen := make(map[string]bool, len(ws))
+	for i, w := range ws {
+		if w.App == "" {
+			return fmt.Errorf("engine: workload %d has no app name", i)
+		}
+		if seen[w.App] {
+			return fmt.Errorf("engine: duplicate workload app %q", w.App)
+		}
+		seen[w.App] = true
+		if w.Tasks < 0 {
+			return fmt.Errorf("engine: workload %q: negative task count %d", w.App, w.Tasks)
+		}
+		if w.Weight < 0 {
+			return fmt.Errorf("engine: workload %q: negative weight %d", w.App, w.Weight)
+		}
+		if w.Release < 0 {
+			return fmt.Errorf("engine: workload %q: negative release time %d", w.App, w.Release)
+		}
+	}
+	return nil
+}
+
+// pickApp chooses which application's task node n consumes next, by
+// smooth weighted round-robin over the applications with a task available
+// at n (the root draws on its released pools, every other node on its
+// tagged buffer occupancy). Each eligible application earns its weight in
+// credit, the highest-credit one (earliest index on ties) is served and
+// pays back the round's total — so over any interval in which a set of
+// applications stays eligible, each receives service proportional to its
+// weight. Single-application runs never call this.
+func (e *engine) pickApp(n int32) int32 {
+	ns := &e.nodes[n]
+	avail := ns.occApp
+	if n == 0 {
+		avail = e.pools
+	}
+	credit := ns.appCredit
+	best := int32(-1)
+	var total int64
+	for a := range avail {
+		if avail[a] <= 0 {
+			continue
+		}
+		w := e.appWeights[a]
+		credit[a] += w
+		total += w
+		if best < 0 || credit[a] > credit[best] {
+			best = int32(a)
+		}
+	}
+	if best < 0 {
+		panic("engine: pickApp with no eligible application")
+	}
+	credit[best] -= total
+	return best
+}
+
+// onAppRelease opens application app's pool at its scheduled release
+// time; the root may immediately have work for waiting children.
+func (e *engine) onAppRelease(app int32) {
+	n := e.cfg.Workloads[app].Tasks
+	e.pools[app] += n
+	e.pool += n
+	e.trySchedule(0)
+}

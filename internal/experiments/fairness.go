@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"bwcs/internal/engine"
+	"bwcs/internal/optimal"
+	"bwcs/internal/protocol"
+	"bwcs/internal/randtree"
+	"bwcs/internal/sim"
+	"bwcs/internal/stats"
+	"bwcs/internal/tree"
+	"bwcs/internal/window"
+)
+
+// The fairness study extends the paper's evaluation to the multi-tenant
+// generalization: N applications with weights 1..N share one tree under
+// weighted bandwidth-centric scheduling (IC(3), the paper's best
+// protocol). Two properties are measured per tree:
+//
+//   - Work conservation: the merged completion stream's steady-state
+//     rate must match the single-application optimal — sharing the tree
+//     costs the aggregate nothing. By construction the tagged run's
+//     aggregate schedule is identical to the untagged one, so this also
+//     cross-checks the tagging invariance end to end.
+//   - Weighted fairness: measured mid-run, each tenant's share of the
+//     completion stream must be monotone in its weight, and Jain's
+//     index over the weight-normalized shares must be near 1.
+
+// FairnessOutcome measures one tree shared by one tenant-count.
+type FairnessOutcome struct {
+	// Index is the tree's position in the random population, or -1 for
+	// the paper's Figure 1 example tree.
+	Index int
+	// Apps is the number of tenants (weights 1..Apps).
+	Apps int
+	// RateRatio is the aggregate mid-run completion rate divided by the
+	// single-application optimal rate 1/TreeWeight.
+	RateRatio float64
+	// Reached reports the paper's onset detector (Section 4.1) found the
+	// merged stream reaching the optimal steady-state rate.
+	Reached bool
+	// Shares is each tenant's fraction of mid-run completions, ordered by
+	// weight (tenant i has weight i+1).
+	Shares []float64
+	// Monotone reports that Shares is non-decreasing in weight (within a
+	// one-percentage-point measurement tolerance).
+	Monotone bool
+	// Jain is Jain's fairness index over the weight-normalized shares.
+	Jain float64
+}
+
+// FairnessPoint aggregates one tenant-count over the whole population.
+type FairnessPoint struct {
+	Apps     int
+	Example  FairnessOutcome // the Figure 1 tree
+	Outcomes []FairnessOutcome
+}
+
+// Within returns the fraction of outcomes (example tree included) whose
+// aggregate rate is within tol of the single-application optimal.
+func (p *FairnessPoint) Within(tol float64) float64 {
+	n, ok := 0, 0
+	for _, oc := range p.all() {
+		n++
+		if oc.RateRatio >= 1-tol && oc.RateRatio <= 1+tol {
+			ok++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(ok) / float64(n)
+}
+
+// MonotoneFraction returns the fraction of outcomes whose shares are
+// monotone in weight.
+func (p *FairnessPoint) MonotoneFraction() float64 {
+	n, ok := 0, 0
+	for _, oc := range p.all() {
+		n++
+		if oc.Monotone {
+			ok++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(ok) / float64(n)
+}
+
+// MeanJain and MinJain summarize the fairness index across the
+// population; MinRatio is the worst aggregate-rate ratio observed.
+func (p *FairnessPoint) MeanJain() float64 {
+	var sum float64
+	all := p.all()
+	for _, oc := range all {
+		sum += oc.Jain
+	}
+	if len(all) == 0 {
+		return 0
+	}
+	return sum / float64(len(all))
+}
+
+func (p *FairnessPoint) MinJain() float64 {
+	min := 1.0
+	for _, oc := range p.all() {
+		if oc.Jain < min {
+			min = oc.Jain
+		}
+	}
+	return min
+}
+
+func (p *FairnessPoint) MinRatio() float64 {
+	first := true
+	var min float64
+	for _, oc := range p.all() {
+		if first || oc.RateRatio < min {
+			min, first = oc.RateRatio, false
+		}
+	}
+	return min
+}
+
+func (p *FairnessPoint) all() []FairnessOutcome {
+	return append([]FairnessOutcome{p.Example}, p.Outcomes...)
+}
+
+// FairnessResult is the whole study: tenant counts 2..MaxApps over the
+// Figure 1 tree plus the random population.
+type FairnessResult struct {
+	Options Options
+	Points  []FairnessPoint
+}
+
+// fairnessMaxApps is the largest tenant count the study sweeps.
+const fairnessMaxApps = 8
+
+// fairnessWorkloads builds N tenants with weights 1..N and task counts
+// proportional to weight (so every tenant stays busy through the whole
+// horizon and mid-run shares reflect scheduling, not early exhaustion),
+// totalling tasks.
+func fairnessWorkloads(n int, tasks int64) []engine.Workload {
+	sumW := int64(n) * int64(n+1) / 2
+	ws := make([]engine.Workload, n)
+	var used int64
+	for i := range ws {
+		w := int64(i + 1)
+		t := tasks * w / sumW
+		if t < 2 {
+			t = 2
+		}
+		ws[i] = engine.Workload{App: fmt.Sprintf("app%d", i+1), Tasks: t, Weight: w}
+		used += t
+	}
+	// Remainder to the heaviest tenant, keeping the total exact.
+	if d := tasks - used; d > 0 {
+		ws[n-1].Tasks += d
+	}
+	return ws
+}
+
+// evaluateFairnessTree runs n tenants on tr and reduces the run to a
+// FairnessOutcome.
+func evaluateFairnessTree(o Options, tr *tree.Tree, index, n int) (FairnessOutcome, error) {
+	p := protocol.Interruptible(3)
+	res, err := engine.Run(engine.Config{
+		Tree:      tr,
+		Protocol:  p,
+		Workloads: fairnessWorkloads(n, o.Tasks),
+		Seed:      o.Seed + uint64(index+1),
+	})
+	if err != nil {
+		return FairnessOutcome{}, fmt.Errorf("fairness tree %d, %d apps: %w", index, n, err)
+	}
+	opt := optimal.Compute(tr)
+	out := FairnessOutcome{Index: index, Apps: n}
+
+	// Aggregate rate over the central 60% of the merged stream (clear of
+	// ramp-up and drain), against the single-application optimal.
+	comps := res.Completions
+	m := len(comps)
+	lo, hi := comps[m/5], comps[m*4/5]
+	if hi > lo {
+		rate := float64(countBetween(comps, lo, hi)) / float64(hi-lo)
+		out.RateRatio = rate * opt.TreeWeight.Float64()
+	}
+	series, err := window.New(comps, opt.TreeWeight)
+	if err != nil {
+		return FairnessOutcome{}, fmt.Errorf("fairness tree %d, %d apps: %w", index, n, err)
+	}
+	_, out.Reached = series.Onset(o.Threshold)
+
+	// Per-tenant shares over the same window; fall back to the full run
+	// when the window is degenerate (tiny trees).
+	per := make([]int64, n)
+	var total int64
+	for i, ar := range res.Apps {
+		per[i] = int64(countBetween(ar.Completions, lo, hi))
+		total += per[i]
+	}
+	if total == 0 {
+		for i, ar := range res.Apps {
+			per[i] = int64(len(ar.Completions))
+			total += per[i]
+		}
+	}
+	out.Shares = make([]float64, n)
+	norm := make([]float64, n)
+	for i := range per {
+		out.Shares[i] = float64(per[i]) / float64(total)
+		norm[i] = out.Shares[i] / float64(res.Apps[i].Weight)
+	}
+	out.Monotone = true
+	for i := 1; i < n; i++ {
+		if out.Shares[i] < out.Shares[i-1]-0.01 {
+			out.Monotone = false
+		}
+	}
+	out.Jain = stats.Jain(norm)
+	return out, nil
+}
+
+// countBetween counts completion times in (lo, hi]; completions are
+// ascending, so binary search keeps the sweep cheap.
+func countBetween(ts []sim.Time, lo, hi sim.Time) int {
+	a := sort.Search(len(ts), func(i int) bool { return ts[i] > lo })
+	b := sort.Search(len(ts), func(i int) bool { return ts[i] > hi })
+	return b - a
+}
+
+// Fairness runs the multi-tenant fairness study: tenant counts 2..8,
+// each over the Figure 1 tree plus o.Trees random trees.
+func Fairness(o Options) (*FairnessResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	counts := make([]int, 0, fairnessMaxApps-1)
+	for n := 2; n <= fairnessMaxApps; n++ {
+		counts = append(counts, n)
+	}
+	r := &FairnessResult{Options: o, Points: make([]FairnessPoint, len(counts))}
+	for ci, n := range counts {
+		pt := FairnessPoint{Apps: n, Outcomes: make([]FairnessOutcome, o.Trees)}
+		ex, err := evaluateFairnessTree(o, ExampleTree(), -1, n)
+		if err != nil {
+			return nil, err
+		}
+		pt.Example = ex
+		var (
+			mu   sync.Mutex
+			done int
+		)
+		if err := parallelFor(o.Trees, o.workers(), func(i int) error {
+			tr := randtree.TreeAt(o.Params, o.Seed, i)
+			oc, err := evaluateFairnessTree(o, tr, i, n)
+			if err != nil {
+				return err
+			}
+			pt.Outcomes[i] = oc
+			if o.Progress != nil {
+				mu.Lock()
+				done++
+				o.Progress(ci*o.Trees+done, len(counts)*o.Trees)
+				mu.Unlock()
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		r.Points[ci] = pt
+	}
+	return r, nil
+}
+
+// Render writes the per-tenant-count table plus the example tree's
+// measured shares.
+func (r *FairnessResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "Fairness: N tenants, weights 1..N, IC(3), %d random trees + Figure 1 tree, %d tasks\n\n",
+		r.Options.Trees, r.Options.Tasks)
+	fmt.Fprintf(w, "%4s %12s %10s %10s %10s %10s %10s\n",
+		"N", "agg<=5%off", "min ratio", "reached", "monotone", "mean Jain", "min Jain")
+	for i := range r.Points {
+		p := &r.Points[i]
+		reached := 0
+		for _, oc := range p.all() {
+			if oc.Reached {
+				reached++
+			}
+		}
+		fmt.Fprintf(w, "%4d %11.1f%% %10.4f %9.1f%% %9.1f%% %10.4f %10.4f\n",
+			p.Apps, 100*p.Within(0.05), p.MinRatio(),
+			100*float64(reached)/float64(len(p.all())),
+			100*p.MonotoneFraction(), p.MeanJain(), p.MinJain())
+	}
+	fmt.Fprintf(w, "\nFigure 1 tree, measured mid-run shares (weights 1..N; ideal share of tenant i is i/ΣW):\n")
+	for i := range r.Points {
+		p := &r.Points[i]
+		fmt.Fprintf(w, "  N=%d:", p.Apps)
+		for _, s := range p.Example.Shares {
+			fmt.Fprintf(w, " %6.3f", s)
+		}
+		fmt.Fprintf(w, "   (Jain %.4f, agg ratio %.4f)\n", p.Example.Jain, p.Example.RateRatio)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+func TestFairnessWorkloads(t *testing.T) {
+	for n := 2; n <= fairnessMaxApps; n++ {
+		ws := fairnessWorkloads(n, 1000)
+		var total int64
+		for i, w := range ws {
+			if w.Weight != int64(i+1) {
+				t.Fatalf("n=%d: workload %d weight %d", n, i, w.Weight)
+			}
+			if w.Tasks < 2 {
+				t.Fatalf("n=%d: workload %d has %d tasks", n, i, w.Tasks)
+			}
+			total += w.Tasks
+		}
+		if total != 1000 {
+			t.Fatalf("n=%d: total tasks %d, want 1000", n, total)
+		}
+	}
+}
+
+func TestFairness(t *testing.T) {
+	o := tinyOptions()
+	o.Tasks = 800 // enough completions for a stable mid-run window per tenant
+	r, err := Fairness(o)
+	if err != nil {
+		t.Fatalf("Fairness: %v", err)
+	}
+	if len(r.Points) != fairnessMaxApps-1 {
+		t.Fatalf("points = %d, want %d", len(r.Points), fairnessMaxApps-1)
+	}
+	for _, p := range r.Points {
+		// The ISSUE's acceptance bar: aggregate steady-state rate within 5%
+		// of the single-application optimal, shares monotone in weight.
+		if f := p.Within(0.05); f < 0.9 {
+			t.Errorf("N=%d: only %.0f%% of trees within 5%% of optimal", p.Apps, 100*f)
+		}
+		if f := p.MonotoneFraction(); f < 0.9 {
+			t.Errorf("N=%d: only %.0f%% of trees share-monotone", p.Apps, 100*f)
+		}
+		if j := p.MeanJain(); j < 0.95 {
+			t.Errorf("N=%d: mean Jain %.4f", p.Apps, j)
+		}
+		if len(p.Example.Shares) != p.Apps {
+			t.Fatalf("N=%d: example tree has %d shares", p.Apps, len(p.Example.Shares))
+		}
+	}
+	// Tagging invariance, observed from the outside: the merged schedule
+	// of tree i is the same no matter how many tenants split the tasks, so
+	// the aggregate rate ratio must be identical across all N.
+	for _, p := range r.Points[1:] {
+		for i := range p.Outcomes {
+			if p.Outcomes[i].RateRatio != r.Points[0].Outcomes[i].RateRatio {
+				t.Fatalf("tree %d: aggregate ratio differs between N=%d (%v) and N=%d (%v)",
+					i, p.Apps, p.Outcomes[i].RateRatio, r.Points[0].Apps, r.Points[0].Outcomes[i].RateRatio)
+			}
+		}
+	}
+	if err := r.Render(io.Discard); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+}

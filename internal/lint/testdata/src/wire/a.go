@@ -70,3 +70,42 @@ func unscoped(o other) bool {
 	}
 	return false
 }
+
+// envelope mirrors the live wire message after the multi-application
+// change: the frame kind plus an appended application tag. Switches that
+// dispatch on a tagged envelope's kind field are the exact shape the relay
+// loops use, so the analyzer must see through the selector.
+type envelope struct {
+	Kind kind
+	App  string
+}
+
+func relayTagged(m envelope) string {
+	switch m.Kind { // want "switch on kind is not exhaustive and has no default: missing kindB"
+	case kindA:
+		return m.App
+	case kindC:
+		return ""
+	}
+	return m.App
+}
+
+func relayTaggedExhaustive(m envelope) string {
+	switch m.Kind {
+	case kindA, kindB, kindC:
+		return m.App
+	}
+	return ""
+}
+
+func perAppCounters(m envelope) map[string]int {
+	counts := map[string]int{}
+	switch m.Kind {
+	case kindA:
+		counts[m.App]++
+	default:
+		// tagged frames of any future kind still land somewhere
+		counts[""]++
+	}
+	return counts
+}

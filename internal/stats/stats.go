@@ -53,6 +53,22 @@ func Mean(vs []int64) float64 {
 	return float64(sum) / float64(len(vs))
 }
 
+// Jain returns Jain's fairness index over the allocations xs:
+// (Σx)² ⁄ (n·Σx²). The index is 1 when every allocation is equal and
+// approaches 1/n as one allocation dominates; it is 0 when all
+// allocations are 0 (or xs is empty).
+func Jain(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
 // Percentile returns the p'th percentile (0..100) of vs using
 // nearest-rank. It panics on an empty slice or out-of-range p.
 func Percentile(vs []int64, p float64) int64 {

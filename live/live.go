@@ -64,17 +64,22 @@ import (
 	"time"
 )
 
-// Task is one unit of application work.
+// Task is one unit of application work. App names the application
+// (tenant) the task belongs to; empty for single-application runs. The
+// tag rides every chunk of the task's payload, so per-tenant accounting
+// and weighted sharing work at every node of the overlay.
 type Task struct {
 	ID      uint64
 	Payload []byte
+	App     string
 }
 
-// Result is a completed task.
+// Result is a completed task. App echoes the task's application tag.
 type Result struct {
 	ID     uint64
 	Output []byte
 	Origin string // name of the node that computed it
+	App    string
 }
 
 // ComputeFunc executes one task. It runs on the node's single compute
@@ -108,6 +113,13 @@ type Config struct {
 	// link bandwidth in tests and demos (the measured priorities then
 	// reflect it, exactly as they would reflect real bandwidth).
 	LinkDelay func(childName string) time.Duration
+	// AppWeights are per-application sharing weights: when tasks of
+	// several applications sit buffered at once, the node dispatches them
+	// by weighted round-robin over the applications present (missing or
+	// non-positive entries weigh 1). Bandwidth-centric child selection is
+	// untouched — weights pick *whose* task moves, the measured link
+	// priority picks *where*.
+	AppWeights map[string]int64
 
 	// HeartbeatInterval is the per-link supervision period: each link
 	// sends a heartbeat every interval and counts silent intervals
@@ -175,6 +187,21 @@ type Stats struct {
 	// RecorderDropped counts flight-recorder events evicted by ring
 	// overflow; nonzero means dumps hold a truncated window.
 	RecorderDropped int64
+
+	// PerApp breaks the task-path counters down by application tag, for
+	// tagged tasks only (single-application runs with untagged tasks keep
+	// it empty).
+	PerApp map[string]AppStats
+}
+
+// AppStats is one application's slice of a node's counters.
+type AppStats struct {
+	Computed  int64 // tasks of this app computed locally
+	Forwarded int64 // tasks of this app sent to children
+	Received  int64 // tasks of this app received from the parent
+	Requeued  int64 // tasks of this app reclaimed and requeued
+	Collected int64 // root only: results of this app delivered to Run
+	Deduped   int64 // duplicate results of this app suppressed
 }
 
 // Node is a running overlay node.
@@ -190,6 +217,11 @@ type Node struct {
 
 	mu         sync.Mutex
 	parentName string // parent's node name, learned from its hello-ack
+	// appCredit is the node's weighted-round-robin ledger over application
+	// tags: each dispatch decision among a mixed buffer credits every
+	// application present by its weight and debits the chosen one by the
+	// round total (smooth WRR).
+	appCredit map[string]int64
 	parent     *conn  // current uplink; nil while disconnected (or root)
 	reqDeficit int    // requests owed to the parent, accrued while disconnected
 	// unacked is the result ledger: every result this node owes its
@@ -459,6 +491,10 @@ func (n *Node) Stats() Stats {
 	for k, v := range n.stats.ByChild {
 		s.ByChild[k] = v
 	}
+	s.PerApp = make(map[string]AppStats, len(n.stats.PerApp))
+	for k, v := range n.stats.PerApp {
+		s.PerApp[k] = v
+	}
 	if n.rec != nil {
 		s.RecorderDropped = n.rec.dropped()
 	}
@@ -583,6 +619,77 @@ func (n *Node) RunTimeout(tasks []Task, timeout time.Duration) ([]Result, error)
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	return n.Run(ctx, tasks)
+}
+
+// bumpApp updates one application's counter slice; untagged tasks (empty
+// app) keep no per-app entry. Callers hold n.mu.
+func (n *Node) bumpApp(app string, f func(*AppStats)) {
+	if app == "" {
+		return
+	}
+	if n.stats.PerApp == nil {
+		n.stats.PerApp = make(map[string]AppStats)
+	}
+	s := n.stats.PerApp[app]
+	f(&s)
+	n.stats.PerApp[app] = s
+}
+
+// appWeight is the application's sharing weight (missing or non-positive
+// configures as 1).
+func (n *Node) appWeight(app string) int64 {
+	if w := n.cfg.AppWeights[app]; w > 0 {
+		return w
+	}
+	return 1
+}
+
+// popTaskLocked removes the next task to dispatch from the buffer. With
+// one application present this is plain FIFO (the engine's order). With a
+// mixed buffer the application is chosen first by smooth weighted
+// round-robin — each application present earns its weight in credit, the
+// richest (earliest in buffer order on ties) is served and pays back the
+// round total — and the chosen application's oldest buffered task moves.
+// Callers hold n.mu and guarantee the buffer is non-empty.
+func (n *Node) popTaskLocked() Task {
+	mixed := false
+	for _, t := range n.buffer[1:] {
+		if t.App != n.buffer[0].App {
+			mixed = true
+			break
+		}
+	}
+	if !mixed {
+		t := n.buffer[0]
+		n.buffer = n.buffer[1:]
+		return t
+	}
+	if n.appCredit == nil {
+		n.appCredit = make(map[string]int64)
+	}
+	first := make(map[string]int) // app -> oldest buffered index
+	order := make([]string, 0, 4) // apps in buffer order, for deterministic ties
+	for i, t := range n.buffer {
+		if _, ok := first[t.App]; !ok {
+			first[t.App] = i
+			order = append(order, t.App)
+		}
+	}
+	var total int64
+	best := ""
+	for _, app := range order {
+		w := n.appWeight(app)
+		n.appCredit[app] += w
+		total += w
+		if best == "" || n.appCredit[app] > n.appCredit[best] {
+			best = app
+		}
+	}
+	n.appCredit[best] -= total
+	i := first[best]
+	t := n.buffer[i]
+	n.buffer = append(n.buffer[:i], n.buffer[i+1:]...)
+	return t
 }
 
 // wake delivers a non-blocking signal.
@@ -784,8 +891,10 @@ func (n *Node) admitChild(c *conn, hello *message) {
 		if len(lost) > 0 {
 			sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
 			for _, id := range lost {
-				n.buffer = append(n.buffer, sess.outstanding[id])
+				t := sess.outstanding[id]
+				n.buffer = append(n.buffer, t)
 				delete(sess.outstanding, id)
+				n.bumpApp(t.App, func(s *AppStats) { s.Requeued++ })
 				n.record(Event{Kind: EvRequeue, Task: id, Peer: hello.Name})
 			}
 			n.stats.Requeued += int64(len(lost))
@@ -842,7 +951,7 @@ func (n *Node) childLoop(s *childSession, c *conn) {
 			// anything else is a replay of one already relayed (or of a
 			// task reclaimed and re-dispatched elsewhere) — ack it so the
 			// child retires its ledger entry, but do not relay it again.
-			r := Result{ID: m.Task, Output: m.Output, Origin: m.Origin}
+			r := Result{ID: m.Task, Output: m.Output, Origin: m.Origin, App: m.App}
 			n.mu.Lock()
 			recvSeq := n.record(Event{Kind: EvResultRecv, Task: m.Task, Origin: m.Origin,
 				Peer: s.name, WireSeq: m.Seq, CausePeer: m.TraceNode, CauseSeq: m.TraceSeq})
@@ -857,6 +966,7 @@ func (n *Node) childLoop(s *childSession, c *conn) {
 				}
 			} else {
 				n.stats.ResultsDeduped++
+				n.bumpApp(m.App, func(s *AppStats) { s.Deduped++ })
 				n.record(Event{Kind: EvResultDedupe, Task: m.Task, Origin: m.Origin, Peer: s.name})
 			}
 			n.mu.Unlock()
@@ -1155,8 +1265,9 @@ func (n *Node) readParent(c *conn) (shutdown bool) {
 			if complete {
 				n.mu.Lock()
 				delete(n.inflight, m.Task)
-				n.buffer = append(n.buffer, Task{ID: m.Task, Payload: t.payload})
+				n.buffer = append(n.buffer, Task{ID: m.Task, Payload: t.payload, App: t.app})
 				n.stats.Received++
+				n.bumpApp(t.app, func(s *AppStats) { s.Received++ })
 				if q := len(n.buffer); q > n.stats.MaxQueued {
 					n.stats.MaxQueued = q
 				}
@@ -1220,6 +1331,9 @@ func (n *Node) deliverResult(r Result) {
 
 // collectRoot hands a result to the root's Run loop.
 func (n *Node) collectRoot(r Result) {
+	n.mu.Lock()
+	n.bumpApp(r.App, func(s *AppStats) { s.Collected++ })
+	n.mu.Unlock()
 	n.record(Event{Kind: EvResultCollect, Task: r.ID, Origin: r.Origin})
 	select {
 	case n.results <- r:
@@ -1285,7 +1399,7 @@ func (n *Node) resultFlusher() {
 		sendSeq := n.record(Event{Kind: kind, Task: e.res.ID, Origin: e.res.Origin,
 			Peer: c.label(), WireSeq: wire})
 		err := c.send(&message{Kind: kindResult, Task: e.res.ID, Output: e.res.Output, Origin: e.res.Origin,
-			Seq: wire, TraceNode: n.cfg.Name, TraceSeq: sendSeq})
+			App: e.res.App, Seq: wire, TraceNode: n.cfg.Name, TraceSeq: sendSeq})
 		if err == nil {
 			n.mu.Lock()
 			e.sentOn = c
@@ -1375,8 +1489,11 @@ func (n *Node) retireResultLocked(task uint64, origin string) {
 
 // requestMore sends task requests upstream; while the parent link is down
 // they are owed and re-sent after the reconnect handshake. Callers
-// account Stats.Requests themselves.
-func (n *Node) requestMore(k int) {
+// account Stats.Requests themselves. app tags the request with the
+// application whose freed buffer fired it — informational, exactly like
+// the engine: requests grant anonymous capacity, the parent's own
+// weighted round-robin decides whose task fills it.
+func (n *Node) requestMore(k int, app string) {
 	n.mu.Lock()
 	c := n.parent
 	if c == nil {
@@ -1386,7 +1503,7 @@ func (n *Node) requestMore(k int) {
 	}
 	n.mu.Unlock()
 	reqSeq := n.record(Event{Kind: EvRequestSent, Peer: c.label(), Value: int64(k)})
-	if err := c.send(&message{Kind: kindRequest, N: k,
+	if err := c.send(&message{Kind: kindRequest, N: k, App: app,
 		TraceNode: n.cfg.Name, TraceSeq: reqSeq}); err != nil && !n.isClosed() {
 		n.mu.Lock()
 		n.reqDeficit += k
@@ -1401,15 +1518,14 @@ func (n *Node) takeTask() (Task, bool) {
 		n.mu.Unlock()
 		return Task{}, false
 	}
-	t := n.buffer[0]
-	n.buffer = n.buffer[1:]
+	t := n.popTaskLocked()
 	n.computing[t.ID] = true // accounted until the result enters the ledger
 	if !n.root {
 		n.stats.Requests++
 	}
 	n.mu.Unlock()
 	if !n.root {
-		n.requestMore(1)
+		n.requestMore(1, t.App)
 	}
 	return t, true
 }
@@ -1438,8 +1554,9 @@ func (n *Node) computeLoop() {
 			Value: time.Since(started).Nanoseconds()})
 		n.mu.Lock()
 		n.stats.Computed++
+		n.bumpApp(t.App, func(s *AppStats) { s.Computed++ })
 		n.mu.Unlock()
-		n.deliverResult(Result{ID: t.ID, Output: out, Origin: n.cfg.Name})
+		n.deliverResult(Result{ID: t.ID, Output: out, Origin: n.cfg.Name, App: t.App})
 		// Cleared only after deliverResult committed the result to the
 		// ledger, so a reconnect hello always accounts for the task.
 		n.mu.Lock()

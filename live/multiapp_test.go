@@ -1,0 +1,329 @@
+package live
+
+// Multi-application (multi-tenant) tests: application tags must survive
+// every hop of the overlay — chunked transfers, result relay, sever,
+// revive, and re-execution — with per-app exactly-once delivery and
+// per-app counters that add up.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+	"time"
+)
+
+// makeAppTasks builds n tasks alternating round-robin over the given
+// application names (task i gets apps[i%len(apps)]).
+func makeAppTasks(n, size int, apps ...string) []Task {
+	tasks := makeTasks(n, size)
+	for i := range tasks {
+		tasks[i].App = apps[i%len(apps)]
+	}
+	return tasks
+}
+
+// TestTwoAppsShareOverlay runs two tenants through a two-worker overlay
+// and checks attribution end to end: every result carries its task's app
+// tag, per-app collection counts are exact, and the workers' per-app
+// counters cover everything they computed.
+func TestTwoAppsShareOverlay(t *testing.T) {
+	const tasks = 40
+	root := startNode(t, Config{
+		Name: "root", Listen: "127.0.0.1:0", Buffers: 3,
+		Compute:    echoCompute(20 * time.Millisecond), // slow root: work flows down
+		ChunkSize:  512,
+		AppWeights: map[string]int64{"alpha": 2, "beta": 1},
+	})
+	w1 := startNode(t, Config{
+		Name: "w1", Parent: root.Addr(), Buffers: 3,
+		Compute: echoCompute(time.Millisecond),
+	})
+	w2 := startNode(t, Config{
+		Name: "w2", Parent: root.Addr(), Buffers: 3,
+		Compute: echoCompute(time.Millisecond),
+	})
+
+	in := makeAppTasks(tasks, 2048, "alpha", "beta")
+	results, err := root.RunTimeout(in, 30*time.Second)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(results) != tasks {
+		t.Fatalf("results = %d, want %d", len(results), tasks)
+	}
+	wantApp := make(map[uint64]string, tasks)
+	for _, task := range in {
+		wantApp[task.ID] = task.App
+	}
+	got := map[string]int{}
+	for _, r := range results {
+		if r.App != wantApp[r.ID] {
+			t.Fatalf("task %d returned with app %q, want %q", r.ID, r.App, wantApp[r.ID])
+		}
+		got[r.App]++
+	}
+	if got["alpha"] != tasks/2 || got["beta"] != tasks/2 {
+		t.Fatalf("per-app result counts %v, want %d each", got, tasks/2)
+	}
+
+	st := root.Stats()
+	if c := st.PerApp["alpha"].Collected + st.PerApp["beta"].Collected; c < tasks {
+		t.Fatalf("root collected %d tagged results, want >= %d", c, tasks)
+	}
+	var workerComputed int64
+	for _, w := range []*Node{w1, w2} {
+		ws := w.Stats()
+		for app, a := range ws.PerApp {
+			if a.Computed != 0 && app != "alpha" && app != "beta" {
+				t.Fatalf("%s computed tasks of unknown app %q", w.cfg.Name, app)
+			}
+			workerComputed += a.Computed
+			if a.Received < a.Computed {
+				t.Fatalf("%s app %s: received %d < computed %d", w.cfg.Name, app, a.Received, a.Computed)
+			}
+		}
+		if ws.Computed != ws.PerApp["alpha"].Computed+ws.PerApp["beta"].Computed {
+			t.Fatalf("%s: per-app computed does not sum to total", w.cfg.Name)
+		}
+	}
+	rootStats := root.Stats()
+	if rootStats.Computed+workerComputed < int64(tasks) {
+		t.Fatalf("computed %d tasks overall, want >= %d", rootStats.Computed+workerComputed, tasks)
+	}
+}
+
+// TestTwoAppsSeverReviveExactlyOnce is the multi-tenant acceptance
+// scenario: two applications share a three-level overlay whose middle
+// node is severed mid-run by a scripted fault. Tasks of both tenants are
+// reclaimed, re-dispatched, and possibly re-executed — yet each tenant's
+// results arrive exactly once, still carrying the right app tag.
+func TestTwoAppsSeverReviveExactlyOnce(t *testing.T) {
+	const tasks = 60
+
+	root := startNode(t, Config{
+		Name: "root", Listen: "127.0.0.1:0", Buffers: 3,
+		Compute:        echoCompute(25 * time.Millisecond),
+		ChunkSize:      256,
+		ReconnectGrace: -1, // reclaim a dead child's tasks immediately
+		AppWeights:     map[string]int64{"alpha": 1, "beta": 3},
+	})
+	sever := NewFaultPlan(FaultRule{
+		Link: "parent", Dir: FaultRecv, Kind: FrameChunk,
+		After: 15, Op: FaultSever,
+	})
+	mid := startNode(t, Config{
+		Name: "mid", Parent: root.Addr(), Listen: "127.0.0.1:0", Buffers: 3,
+		Compute:       echoCompute(5 * time.Millisecond),
+		ChunkSize:     256,
+		Faults:        sever,
+		ReconnectBase: 50 * time.Millisecond, ReconnectCap: 200 * time.Millisecond, ReconnectAttempts: 10,
+	})
+	leaf := startNode(t, Config{
+		Name: "leaf", Parent: mid.Addr(), Buffers: 3,
+		Compute: echoCompute(2 * time.Millisecond),
+	})
+
+	in := makeAppTasks(tasks, 2048, "alpha", "beta")
+	results, err := root.RunTimeout(in, 60*time.Second)
+	if err != nil {
+		t.Fatalf("Run across the sever: %v", err)
+	}
+	if len(results) != tasks {
+		t.Fatalf("results = %d, want %d", len(results), tasks)
+	}
+
+	// Per-app exactly-once: every ID once, under its own app tag.
+	wantApp := make(map[uint64]string, tasks)
+	for _, task := range in {
+		wantApp[task.ID] = task.App
+	}
+	seen := make(map[uint64]bool, tasks)
+	perApp := map[string]int{}
+	for _, r := range results {
+		if seen[r.ID] {
+			t.Fatalf("task %d delivered twice", r.ID)
+		}
+		seen[r.ID] = true
+		if r.App != wantApp[r.ID] {
+			t.Fatalf("task %d returned with app %q, want %q (tag lost across sever/revive)", r.ID, r.App, wantApp[r.ID])
+		}
+		perApp[r.App]++
+	}
+	if perApp["alpha"] != tasks/2 || perApp["beta"] != tasks/2 {
+		t.Fatalf("per-app delivery %v, want %d each", perApp, tasks/2)
+	}
+
+	if sever.Pending() != 0 {
+		t.Fatalf("the scripted sever never fired")
+	}
+	st := root.Stats()
+	if st.Requeued == 0 {
+		t.Fatalf("root reclaimed nothing from the severed subtree")
+	}
+	// Requeues carry attribution: the tagged requeue counters must account
+	// for every reclaimed task (all tasks in this run are tagged).
+	var requeuedTagged int64
+	for _, a := range st.PerApp {
+		requeuedTagged += a.Requeued
+	}
+	if requeuedTagged != st.Requeued {
+		t.Fatalf("per-app requeued %d != total %d", requeuedTagged, st.Requeued)
+	}
+	if mid.Stats().Reconnects == 0 {
+		t.Fatalf("mid never reconnected")
+	}
+	if leaf.Stats().Computed == 0 {
+		t.Fatalf("leaf never worked")
+	}
+	t.Logf("requeued %d (tagged %d), per-app %v", st.Requeued, requeuedTagged, perApp)
+}
+
+// TestWeightedDispatchOrder pins the WRR pop deterministically: with a
+// mixed buffer and weights 3:1, popTaskLocked serves the heavy app three
+// times as often, in the smooth-WRR order, while a uniform buffer stays
+// strict FIFO.
+func TestWeightedDispatchOrder(t *testing.T) {
+	n := &Node{cfg: Config{AppWeights: map[string]int64{"heavy": 3, "light": 1}}}
+	for i := 0; i < 8; i++ {
+		app := "heavy"
+		if i >= 6 {
+			app = "light"
+		}
+		n.buffer = append(n.buffer, Task{ID: uint64(i + 1), App: app})
+	}
+	var order []string
+	for len(n.buffer) > 0 {
+		order = append(order, n.popTaskLocked().App)
+	}
+	// Smooth WRR with weights 3:1 over 4 slots: heavy, heavy, light, heavy.
+	want := []string{"heavy", "heavy", "light", "heavy", "heavy", "heavy", "light", "heavy"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", order, want)
+		}
+	}
+
+	// Uniform buffer: FIFO, no credit ledger involvement.
+	n2 := &Node{}
+	for i := 0; i < 4; i++ {
+		n2.buffer = append(n2.buffer, Task{ID: uint64(i + 1), App: "only"})
+	}
+	for i := 0; i < 4; i++ {
+		if got := n2.popTaskLocked().ID; got != uint64(i+1) {
+			t.Fatalf("uniform buffer popped %d at %d", got, i)
+		}
+	}
+	if n2.appCredit != nil {
+		t.Fatalf("uniform buffer built a credit ledger")
+	}
+}
+
+// TestPerAppMetricsExposition asserts the /metrics per-application
+// families: a tagged run exposes one labeled sample per app per family,
+// equal to the Stats.PerApp counters (an untagged run exposes none —
+// covered by TestMetricsEndpointMatchesStats's full-exposition sweep).
+func TestPerAppMetricsExposition(t *testing.T) {
+	root := startNode(t, Config{
+		Name: "root", Listen: "127.0.0.1:0", Buffers: 2,
+		Compute: echoCompute(2 * time.Millisecond),
+	})
+	addr, err := root.ServeStatus("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeStatus: %v", err)
+	}
+	if _, err := root.RunTimeout(makeAppTasks(20, 256, "alpha", "beta"), 30*time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got := scrape(t, "http://"+addr+"/metrics")
+	st := root.Stats()
+	for app, a := range st.PerApp {
+		for name, want := range map[string]int64{
+			"live_app_tasks_computed_total":    a.Computed,
+			"live_app_results_collected_total": a.Collected,
+			"live_app_tasks_forwarded_total":   a.Forwarded,
+			"live_app_tasks_received_total":    a.Received,
+			"live_app_tasks_requeued_total":    a.Requeued,
+			"live_app_results_deduped_total":   a.Deduped,
+		} {
+			key := name + `{app="` + app + `"}`
+			if got[key] != want {
+				t.Errorf("%s = %d, want %d", key, got[key], want)
+			}
+		}
+	}
+	if st.PerApp["alpha"].Computed+st.PerApp["beta"].Computed != 20 {
+		t.Fatalf("per-app computed %v does not cover the run", st.PerApp)
+	}
+}
+
+// preAppMessage is the wire envelope as it existed before the App tag was
+// appended (PR 5's trace-context layout). Gob ignores fields either side
+// does not declare, so old frames must decode with an empty App and
+// tagged frames must decode on old peers.
+type preAppMessage struct {
+	Kind      msgKind
+	Name      string
+	Resume    []ResumePoint
+	Holding   []uint64
+	Revived   bool
+	Accepted  []uint64
+	N         int
+	Task      uint64
+	Size      int
+	Offset    int
+	Data      []byte
+	Last      bool
+	Output    []byte
+	Origin    string
+	Seq       uint64
+	TraceNode string
+	TraceSeq  uint64
+}
+
+// TestWireAppTagBackCompat pins both directions of the gob evolution
+// contract for the appended App field.
+func TestWireAppTagBackCompat(t *testing.T) {
+	// Old peer → new node: a pre-app chunk decodes with an empty App.
+	var buf bytes.Buffer
+	old := preAppMessage{Kind: kindChunk, Task: 7, Size: 4, Offset: 0,
+		Data: []byte{1, 2, 3, 4}, Last: true, Seq: 3, TraceNode: "p", TraceSeq: 2}
+	if err := gob.NewEncoder(&buf).Encode(&old); err != nil {
+		t.Fatalf("encode pre-app: %v", err)
+	}
+	var got message
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("decode pre-app into current message: %v", err)
+	}
+	if got.Kind != kindChunk || got.Task != 7 || !got.Last || got.TraceNode != "p" {
+		t.Errorf("pre-app frame mangled: %+v", got)
+	}
+	if got.App != "" {
+		t.Errorf("pre-app frame grew an app tag from nowhere: %q", got.App)
+	}
+
+	// New node → old peer: a tagged result decodes on a peer that does not
+	// declare App.
+	buf.Reset()
+	tagged := message{Kind: kindResult, Task: 9, Output: []byte{5}, Origin: "w1",
+		Seq: 42, TraceNode: "w1", TraceSeq: 17, App: "alpha"}
+	if err := gob.NewEncoder(&buf).Encode(&tagged); err != nil {
+		t.Fatalf("encode tagged: %v", err)
+	}
+	var back preAppMessage
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatalf("decode tagged into pre-app message: %v", err)
+	}
+	if back.Kind != kindResult || back.Task != 9 || back.Origin != "w1" || back.TraceSeq != 17 {
+		t.Errorf("tagged frame mangled on a pre-app peer: %+v", back)
+	}
+
+	// An untagged transfer (single-application run) must not fabricate an
+	// app on assembly.
+	tr := &inTransfer{id: 7}
+	if _, err := tr.feed(&got); err != nil {
+		t.Fatalf("feed: %v", err)
+	}
+	if tr.app != "" {
+		t.Errorf("untagged transfer acquired app %q", tr.app)
+	}
+}

@@ -102,6 +102,16 @@ func WithResultRetry(d time.Duration) Option {
 	return func(c *Config) { c.ResultRetry = d }
 }
 
+// WithAppWeights sets per-application sharing weights: when tasks of
+// several applications sit buffered at once, the node dispatches them by
+// weighted round-robin over the applications present, proportional to
+// these weights (missing or non-positive entries weigh 1; default all 1,
+// plain round-robin among tenants). Child selection stays purely
+// bandwidth-centric — weights decide whose task moves, not where.
+func WithAppWeights(weights map[string]int64) Option {
+	return func(c *Config) { c.AppWeights = weights }
+}
+
 // WithFaultPlan installs a deterministic fault-injection script consulted
 // on every frame this node sends or receives; default none. See
 // FaultPlan.

@@ -55,6 +55,7 @@ func (n *Node) nextChunk() *childSession {
 		if s.active != nil {
 			n.buffer = append(n.buffer, s.active.task)
 			n.record(Event{Kind: EvRequeue, Task: s.active.task.ID, Peer: s.name})
+			n.bumpApp(s.active.task.App, func(a *AppStats) { a.Requeued++ })
 			s.active = nil
 			n.stats.Requeued++
 			n.wakeLocked()
@@ -66,7 +67,9 @@ func (n *Node) nextChunk() *childSession {
 			}
 			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 			for _, id := range ids {
-				n.buffer = append(n.buffer, s.outstanding[id])
+				t := s.outstanding[id]
+				n.buffer = append(n.buffer, t)
+				n.bumpApp(t.App, func(a *AppStats) { a.Requeued++ })
 				n.record(Event{Kind: EvRequeue, Task: id, Peer: s.name})
 			}
 			n.stats.Requeued += int64(len(ids))
@@ -117,6 +120,7 @@ func (n *Node) nextChunk() *childSession {
 	}
 
 	needReq := false
+	reqApp := ""
 	if bestFresh {
 		// Preemption accounting: starting a fresh transfer while another
 		// child's transfer is unfinished is an interruption.
@@ -133,8 +137,9 @@ func (n *Node) nextChunk() *childSession {
 				s.active.resumed = true
 			}
 		}
-		t := n.buffer[0]
-		n.buffer = n.buffer[1:]
+		// WRR over application tags decides whose task moves; the
+		// bandwidth-centric choice of *which child* was made above.
+		t := n.popTaskLocked()
 		best.pending--
 		best.active = &outTransfer{task: t}
 		// The dispatch decision, recorded in the same critical section that
@@ -146,6 +151,8 @@ func (n *Node) nextChunk() *childSession {
 			Value: int64(best.link.estimate() * 1e9)})
 		n.stats.Forwarded++
 		n.stats.ByChild[best.name]++
+		n.bumpApp(t.App, func(a *AppStats) { a.Forwarded++ })
+		reqApp = t.App
 		if !n.root {
 			n.stats.Requests++
 			needReq = true
@@ -155,7 +162,7 @@ func (n *Node) nextChunk() *childSession {
 
 	if needReq {
 		// The freed buffer requests a refill (the paper's rule).
-		n.requestMore(1)
+		n.requestMore(1, reqApp)
 	}
 	return best
 }
@@ -211,6 +218,7 @@ func (n *Node) sendChunk(s *childSession) {
 		Last:      last,
 		TraceNode: n.cfg.Name,
 		TraceSeq:  traceSeq,
+		App:       tr.task.App,
 	}
 
 	if n.cfg.LinkDelay != nil {

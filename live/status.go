@@ -244,5 +244,30 @@ func metricsSnapshot(st Stats, buffered, connected, children int64, uptime time.
 		}
 		snap = append(snap, f)
 	}
+	if len(st.PerApp) > 0 {
+		apps := make([]string, 0, len(st.PerApp))
+		for app := range st.PerApp {
+			apps = append(apps, app)
+		}
+		sort.Strings(apps)
+		perApp := func(name, help string, get func(AppStats) int64) metrics.Family {
+			f := metrics.Family{Name: name, Help: help, Type: "counter"}
+			for _, app := range apps {
+				f.Samples = append(f.Samples, metrics.Sample{
+					Labels: []metrics.Label{{Key: "app", Value: app}},
+					Value:  get(st.PerApp[app]),
+				})
+			}
+			return f
+		}
+		snap = append(snap,
+			perApp("live_app_tasks_computed_total", "tasks computed locally per application", func(a AppStats) int64 { return a.Computed }),
+			perApp("live_app_tasks_forwarded_total", "tasks sent to children per application", func(a AppStats) int64 { return a.Forwarded }),
+			perApp("live_app_tasks_received_total", "tasks received from the parent per application", func(a AppStats) int64 { return a.Received }),
+			perApp("live_app_tasks_requeued_total", "tasks reclaimed and requeued per application", func(a AppStats) int64 { return a.Requeued }),
+			perApp("live_app_results_collected_total", "results delivered to Run per application (root only)", func(a AppStats) int64 { return a.Collected }),
+			perApp("live_app_results_deduped_total", "duplicate results suppressed per application", func(a AppStats) int64 { return a.Deduped }),
+		)
+	}
 	return snap
 }

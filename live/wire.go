@@ -109,6 +109,16 @@ type message struct {
 	Seq       uint64
 	TraceNode string
 	TraceSeq  uint64
+
+	// Application tag (appended field, back-compatible both directions
+	// exactly like the trace context above: old-format frames decode with
+	// an empty App, old peers skip the field). Chunks carry the task's
+	// application so the receiving subtree preserves tenant attribution;
+	// results echo it back so every hop keeps per-tenant counters; a
+	// request carries the application whose freed buffer fired it
+	// (informational — requests remain anonymous capacity, exactly as in
+	// the engine).
+	App string
 }
 
 // conn wraps a network connection with gob codecs and a write lock so
@@ -250,6 +260,9 @@ type inTransfer struct {
 	id      uint64
 	payload []byte
 	got     int
+	// app is the task's application tag, carried on every chunk (empty
+	// when the sender predates tagging or the task is untagged).
+	app string
 	// segment/segmentFrom track the trace context of the last chunk, so
 	// the flight recorder logs one receive event per transfer segment
 	// (the first chunk after each dispatch or resume on the sender).
@@ -261,6 +274,9 @@ type inTransfer struct {
 func (t *inTransfer) feed(m *message) (bool, error) {
 	if t.payload == nil {
 		t.payload = make([]byte, m.Size)
+	}
+	if m.App != "" {
+		t.app = m.App
 	}
 	if m.Offset+len(m.Data) > len(t.payload) {
 		return false, fmt.Errorf("live: chunk overflows task %d: offset %d + %d > %d", m.Task, m.Offset, len(m.Data), len(t.payload))
