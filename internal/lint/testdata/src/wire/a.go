@@ -98,6 +98,32 @@ func relayTaggedExhaustive(m envelope) string {
 	return ""
 }
 
+// marshalMissing mirrors the binary codec's appendFrame: an encoder
+// switch that deliberately carries no default, so a kind constant added
+// without a marshal case fails bwvet instead of silently erroring at
+// runtime on the new frame.
+func marshalMissing(buf []byte, m envelope) []byte {
+	switch m.Kind { // want "switch on kind is not exhaustive and has no default: missing kindC"
+	case kindA:
+		buf = append(buf, 1, m.App[0])
+	case kindB:
+		buf = append(buf, 2)
+	}
+	return buf
+}
+
+// marshalExhaustive is the passing shape appendFrame keeps: every kind
+// has an encode arm and unknown kinds are unrepresentable.
+func marshalExhaustive(buf []byte, m envelope) []byte {
+	switch m.Kind {
+	case kindA, kindB:
+		buf = append(buf, byte(m.Kind))
+	case kindC:
+		buf = append(buf, 3, m.App[0])
+	}
+	return buf
+}
+
 func perAppCounters(m envelope) map[string]int {
 	counts := map[string]int{}
 	switch m.Kind {

@@ -149,6 +149,22 @@ type Config struct {
 	// negative disables retransmission (unacked results then replay only
 	// after a reconnect).
 	ResultRetry time.Duration
+	// WireCodecs lists the wire codec versions this node offers in its
+	// hello (as a child) and accepts (as a parent). nil offers every
+	// codec this build speaks; a list of only CodecGob pins the legacy
+	// gob envelope. Gob itself is always implied — the handshake runs in
+	// it and negotiation falls back to it — so mixed-version overlays
+	// interoperate in both directions.
+	WireCodecs []Codec
+	// ChunkBatch is the most chunks of one transfer the send port writes
+	// per port turn on a binary conn (one buffer, one syscall); preemption
+	// still happens between turns, so a large batch trades preemption
+	// granularity for throughput. 0 means the default 8; negative (or a
+	// LinkDelay, which is emulated per chunk) forces single-chunk turns.
+	ChunkBatch int
+	// HandshakeTimeout bounds the hello / hello-ack exchange on each
+	// side; 0 means the 5s default.
+	HandshakeTimeout time.Duration
 	// Faults, when non-nil, is a deterministic fault-injection script
 	// consulted on every frame this node sends or receives.
 	Faults *FaultPlan
@@ -188,6 +204,15 @@ type Stats struct {
 	// overflow; nonzero means dumps hold a truncated window.
 	RecorderDropped int64
 
+	// Wire data-plane volume, aggregated over all of the node's links in
+	// both directions (and across reconnects). Bytes are measured at the
+	// socket, so they include codec overhead — the ratio of frames to
+	// bytes is the codec's framing efficiency.
+	FramesSent     int64
+	FramesReceived int64
+	BytesSent      int64
+	BytesReceived  int64
+
 	// PerApp breaks the task-path counters down by application tag, for
 	// tagged tasks only (single-application runs with untagged tasks keep
 	// it empty).
@@ -212,8 +237,15 @@ type Node struct {
 
 	// rec is the flight recorder; nil when disabled. wireSeq numbers
 	// every frame the node sends, across all conns and reconnects.
+	// wireCtr meters data-plane volume across all conns.
 	rec     *flightRecorder
 	wireSeq atomic.Uint64
+	wireCtr wireCounters
+
+	// portMsgs and portFrames are the send port's reusable chunk-batch
+	// scratch; touched only by the sendPort goroutine.
+	portMsgs   []message
+	portFrames []*message
 
 	mu         sync.Mutex
 	parentName string // parent's node name, learned from its hello-ack
@@ -290,8 +322,13 @@ type resultEntry struct {
 	sentAt time.Time // when it was last written, for the retransmit timer
 }
 
-// handshakeTimeout bounds the hello / hello-ack exchange.
-const handshakeTimeout = 5 * time.Second
+// defaultHandshakeTimeout bounds the hello / hello-ack exchange when
+// Config.HandshakeTimeout is unset.
+const defaultHandshakeTimeout = 5 * time.Second
+
+// defaultChunkBatch is how many chunks of one transfer the send port
+// writes per turn on a binary conn when Config.ChunkBatch is unset.
+const defaultChunkBatch = 8
 
 // ErrTimeout reports a Run whose context deadline expired with results
 // still missing; match with errors.Is. The concrete *TimeoutError
@@ -371,6 +408,25 @@ func StartConfig(cfg Config) (*Node, error) {
 		cfg.ResultRetry = 2 * time.Second
 	case cfg.ResultRetry < 0:
 		cfg.ResultRetry = 0 // retransmit only on reconnect
+	}
+	switch {
+	case cfg.ChunkBatch == 0:
+		cfg.ChunkBatch = defaultChunkBatch
+	case cfg.ChunkBatch < 0:
+		cfg.ChunkBatch = 1
+	}
+	if cfg.LinkDelay != nil {
+		// The emulated delay is charged per chunk; batching would fold a
+		// whole batch under one delay and skew the measured priorities.
+		cfg.ChunkBatch = 1
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = defaultHandshakeTimeout
+	}
+	for _, wc := range cfg.WireCodecs {
+		if wc != CodecGob && !codecSupported(wc) {
+			return nil, fmt.Errorf("live: unsupported wire codec %v", wc)
+		}
 	}
 	if cfg.sleep == nil {
 		cfg.sleep = realSleep
@@ -498,7 +554,20 @@ func (n *Node) Stats() Stats {
 	if n.rec != nil {
 		s.RecorderDropped = n.rec.dropped()
 	}
+	s.FramesSent = n.wireCtr.framesSent.Load()
+	s.FramesReceived = n.wireCtr.framesRecv.Load()
+	s.BytesSent = n.wireCtr.bytesSent.Load()
+	s.BytesReceived = n.wireCtr.bytesRecv.Load()
 	return s
+}
+
+// offeredWireCodecs is the negotiation offer list: the configured pin,
+// or everything this build speaks.
+func (n *Node) offeredWireCodecs() []Codec {
+	if n.cfg.WireCodecs != nil {
+		return n.cfg.WireCodecs
+	}
+	return supportedWireCodecs
 }
 
 // parentLabel is the uplink's display name for flight-recorder events:
@@ -790,8 +859,8 @@ func (n *Node) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		c := newConn(raw, "", n.cfg.Faults, n.cfg.WriteTimeout, &n.wireSeq)
-		hello, err := c.recvTimeout(handshakeTimeout)
+		c := newConn(raw, "", n.cfg.Faults, n.cfg.WriteTimeout, &n.wireSeq, &n.wireCtr)
+		hello, err := c.recvTimeout(n.cfg.HandshakeTimeout)
 		if err != nil || hello.Kind != kindHello {
 			_ = c.close()
 			continue
@@ -823,7 +892,12 @@ func (n *Node) admitChild(c *conn, hello *message) {
 	for _, rp := range hello.Resume {
 		covered[rp.Task] = true
 	}
-	ack := &message{Kind: kindHelloAck, Name: n.cfg.Name}
+	// Codec negotiation: highest version both sides offer, gob floor.
+	// The conn's codec is set before it is published to the child loop
+	// and send port; the ack itself still travels as gob (the child
+	// switches after reading it).
+	c.codec = negotiateCodec(n.offeredWireCodecs(), hello.Codecs)
+	ack := &message{Kind: kindHelloAck, Name: n.cfg.Name, Codecs: codecBytes([]Codec{c.codec})}
 
 	n.mu.Lock()
 	helloSeq := n.record(Event{Kind: EvHello, Peer: hello.Name, WireSeq: hello.Seq,
@@ -913,7 +987,7 @@ func (n *Node) admitChild(c *conn, hello *message) {
 		_ = oldConn.close()
 	}
 
-	if err := c.send(ack); err != nil {
+	if err := c.sendHandshake(ack); err != nil {
 		_ = c.close()
 		n.markChildGone(sess, c)
 		return
@@ -1045,7 +1119,7 @@ func (n *Node) connectParent() error {
 	if err != nil {
 		return fmt.Errorf("live: dial parent: %w", err)
 	}
-	c := newConn(raw, "parent", n.cfg.Faults, n.cfg.WriteTimeout, &n.wireSeq)
+	c := newConn(raw, "parent", n.cfg.Faults, n.cfg.WriteTimeout, &n.wireSeq, &n.wireCtr)
 
 	n.mu.Lock()
 	resume := make([]ResumePoint, 0, len(n.inflight))
@@ -1056,14 +1130,15 @@ func (n *Node) connectParent() error {
 	n.mu.Unlock()
 	sort.Slice(resume, func(i, j int) bool { return resume[i].Task < resume[j].Task })
 
+	offered := n.offeredWireCodecs()
 	helloWire := c.nextSeq()
 	helloSeq := n.record(Event{Kind: EvHello, Peer: "parent", WireSeq: helloWire})
-	if err := c.send(&message{Kind: kindHello, Name: n.cfg.Name, Resume: resume, Holding: holding,
-		Seq: helloWire, TraceNode: n.cfg.Name, TraceSeq: helloSeq}); err != nil {
+	if err := c.sendHandshake(&message{Kind: kindHello, Name: n.cfg.Name, Resume: resume, Holding: holding,
+		Codecs: codecBytes(offered), Seq: helloWire, TraceNode: n.cfg.Name, TraceSeq: helloSeq}); err != nil {
 		_ = c.close()
 		return fmt.Errorf("live: hello: %w", err)
 	}
-	ack, err := c.recvTimeout(handshakeTimeout)
+	ack, err := c.recvTimeout(n.cfg.HandshakeTimeout)
 	if err != nil {
 		_ = c.close()
 		return fmt.Errorf("live: hello ack: %w", err)
@@ -1071,6 +1146,17 @@ func (n *Node) connectParent() error {
 	if ack.Kind != kindHelloAck {
 		_ = c.close()
 		return fmt.Errorf("live: expected hello ack, got frame kind %d", ack.Kind)
+	}
+	if len(ack.Codecs) > 0 {
+		// The parent answered with its pick; a pick we never offered means
+		// the peers disagree on the protocol and the link must not come up
+		// half-speaking it.
+		chosen := negotiateCodec(offered, ack.Codecs)
+		if chosen == CodecGob {
+			_ = c.close()
+			return fmt.Errorf("live: parent chose unsupported wire codec %v", ack.Codecs)
+		}
+		c.codec = chosen
 	}
 	if ack.Name != "" {
 		// Written before the conn is published; recorder events on this
@@ -1361,11 +1447,20 @@ func (n *Node) enqueueResultLocked(r Result) {
 // all outstanding results — and, on a live link, retransmitting entries
 // unacked past the ResultRetry deadline. Single-sender FIFO means replay
 // order always matches arrival order, with no re-append races.
+//
+// Sends are pipelined: every due entry goes out in one batched write
+// (one syscall on a binary conn) instead of one frame in flight at a
+// time; acks stream back asynchronously and retire entries as they
+// arrive. An entry acked between the snapshot and the write is sent
+// redundantly and deduplicated upstream — exactly-once is preserved by
+// the parent's dedupe, not by the flusher's timing.
 func (n *Node) resultFlusher() {
 	defer n.wg.Done()
+	var frames []*message
+	var msgs []message
 	for {
-		e, c, replay := n.nextResultSend()
-		if e == nil {
+		batch, c, replays := n.dueResultBatch()
+		if len(batch) == 0 {
 			var timerC <-chan time.Time
 			var timer *time.Timer
 			if d := n.resultRetryWait(); d > 0 {
@@ -1386,28 +1481,35 @@ func (n *Node) resultFlusher() {
 			}
 			continue
 		}
-		if replay {
-			n.mu.Lock()
-			n.stats.ResultsReplayed++
-			n.mu.Unlock()
+		if cap(msgs) < len(batch) {
+			msgs = make([]message, len(batch))
 		}
-		kind := EvResultSend
-		if replay {
-			kind = EvResultReplay
+		msgs = msgs[:len(batch)]
+		frames = frames[:0]
+		for i, e := range batch {
+			kind := EvResultSend
+			if e.sentOn != nil {
+				kind = EvResultReplay
+			}
+			wire := c.nextSeq()
+			sendSeq := n.record(Event{Kind: kind, Task: e.res.ID, Origin: e.res.Origin,
+				Peer: c.label(), WireSeq: wire})
+			msgs[i] = message{Kind: kindResult, Task: e.res.ID, Output: e.res.Output, Origin: e.res.Origin,
+				App: e.res.App, Seq: wire, TraceNode: n.cfg.Name, TraceSeq: sendSeq}
+			frames = append(frames, &msgs[i])
 		}
-		wire := c.nextSeq()
-		sendSeq := n.record(Event{Kind: kind, Task: e.res.ID, Origin: e.res.Origin,
-			Peer: c.label(), WireSeq: wire})
-		err := c.send(&message{Kind: kindResult, Task: e.res.ID, Output: e.res.Output, Origin: e.res.Origin,
-			App: e.res.App, Seq: wire, TraceNode: n.cfg.Name, TraceSeq: sendSeq})
-		if err == nil {
-			n.mu.Lock()
+		accepted, err := c.sendBatch(frames)
+		now := time.Now()
+		n.mu.Lock()
+		for _, e := range batch[:accepted] {
 			e.sentOn = c
-			e.sentAt = time.Now()
-			n.mu.Unlock()
-		} else if !n.isClosed() {
+			e.sentAt = now
+		}
+		n.stats.ResultsReplayed += int64(replays)
+		n.mu.Unlock()
+		if err != nil && !n.isClosed() {
 			// Dead uplink: the supervisor will reconnect and wake us; the
-			// entry stays in the ledger untouched.
+			// unwritten entries stay in the ledger untouched.
 			select {
 			case <-n.resKick:
 			case <-n.done:
@@ -1420,31 +1522,40 @@ func (n *Node) resultFlusher() {
 	}
 }
 
-// nextResultSend picks the first ledger entry due on the wire: one never
-// written to the current uplink (first send, or replay after a
-// reconnect), else — when retransmission is enabled — the first entry
-// unacked past the retry deadline. The replay flag reports whether this
-// is a retransmission of a previously written entry.
-func (n *Node) nextResultSend() (e *resultEntry, c *conn, replay bool) {
+// maxResultBatch caps how many ledger entries one flusher round writes;
+// a longer backlog simply takes several rounds back to back.
+const maxResultBatch = 128
+
+// dueResultBatch snapshots, in ledger (arrival) order, every entry due
+// on the wire: entries never written to the current uplink (first send,
+// or replay after a reconnect) and — when retransmission is enabled —
+// entries unacked past the retry deadline. replays counts the entries
+// being retransmitted rather than first-sent.
+func (n *Node) dueResultBatch() (batch []*resultEntry, c *conn, replays int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	c = n.parent
 	if c == nil || len(n.unacked) == 0 {
-		return nil, nil, false
+		return nil, nil, 0
 	}
+	retry := n.cfg.ResultRetry
 	for _, e := range n.unacked {
-		if e.sentOn != c {
-			return e, c, e.sentOn != nil
+		due := e.sentOn != c
+		if !due && retry > 0 && time.Since(e.sentAt) >= retry {
+			due = true
+		}
+		if !due {
+			continue
+		}
+		if e.sentOn != nil {
+			replays++
+		}
+		batch = append(batch, e)
+		if len(batch) == maxResultBatch {
+			break
 		}
 	}
-	if retry := n.cfg.ResultRetry; retry > 0 {
-		for _, e := range n.unacked {
-			if time.Since(e.sentAt) >= retry {
-				return e, c, true
-			}
-		}
-	}
-	return nil, nil, false
+	return batch, c, replays
 }
 
 // resultRetryWait reports how long the flusher may sleep before the

@@ -8,7 +8,9 @@ package live
 // requeue.
 
 import (
+	"bufio"
 	"encoding/gob"
+	"fmt"
 	"net"
 	"testing"
 	"time"
@@ -356,24 +358,28 @@ func TestResultLedgerOrderAndRetire(t *testing.T) {
 	// 3 (sent on the old link) — a replay interleaved with fresh sends.
 	n.unacked = []*resultEntry{mk(1, oldC), mk(2, nil), mk(3, oldC)}
 
-	wantOrder := []struct {
-		id     uint64
-		replay bool
-	}{{1, true}, {2, false}, {3, true}}
+	batch, c, replays := n.dueResultBatch()
+	if c != newC {
+		t.Fatalf("batch scheduled on the wrong conn")
+	}
+	wantOrder := []uint64{1, 2, 3}
+	if len(batch) != len(wantOrder) {
+		t.Fatalf("batch holds %d entries, want %d", len(batch), len(wantOrder))
+	}
 	for i, want := range wantOrder {
-		e, c, replay := n.nextResultSend()
-		if e == nil || c != newC {
-			t.Fatalf("step %d: no entry scheduled", i)
+		if batch[i].res.ID != want {
+			t.Fatalf("step %d: scheduled task %d, want %d", i, batch[i].res.ID, want)
 		}
-		if e.res.ID != want.id || replay != want.replay {
-			t.Fatalf("step %d: scheduled task %d (replay=%v), want %d (replay=%v)",
-				i, e.res.ID, replay, want.id, want.replay)
-		}
+	}
+	if replays != 2 {
+		t.Fatalf("replays = %d, want 2 (entries written to the old conn)", replays)
+	}
+	for _, e := range batch {
 		e.sentOn = newC
 		e.sentAt = time.Now()
 	}
-	if e, _, _ := n.nextResultSend(); e != nil {
-		t.Fatalf("entry %d scheduled with everything sent and retry disabled", e.res.ID)
+	if again, _, _ := n.dueResultBatch(); len(again) != 0 {
+		t.Fatalf("entry %d scheduled with everything sent and retry disabled", again[0].res.ID)
 	}
 
 	n.retireResultLocked(2, "x") // wrong origin: not our entry
@@ -388,5 +394,255 @@ func TestResultLedgerOrderAndRetire(t *testing.T) {
 		if e.res.ID == 2 {
 			t.Fatalf("retired entry still in the ledger")
 		}
+	}
+}
+
+// TestMidStreamReconnectSwitchesCodec covers a codec downgrade across a
+// reconnect: a scripted child handshakes binary, takes one task and
+// returns its result entirely over binary frames, then dies before the
+// result ack arrives. It revives inside the grace window with a
+// gob-only hello (no Codecs field — an old build after a rollback) that
+// still claims the task, and replays the unacked result over gob. The
+// root must serve each connection in its own negotiated codec, dedupe
+// the replay, and still ack it so the child's ledger can retire —
+// exactly-once end to end.
+func TestMidStreamReconnectSwitchesCodec(t *testing.T) {
+	const tasks = 6
+	root := startNode(t, Config{
+		Name: "root", Listen: "127.0.0.1:0", Buffers: 3,
+		Compute:           echoCompute(15 * time.Millisecond),
+		HeartbeatInterval: -1, // the scripted child sends no heartbeats
+	})
+
+	type legOne struct {
+		id      uint64
+		payload []byte
+		err     error
+	}
+	leg1c := make(chan legOne, 1)
+	go func() {
+		fail := func(format string, args ...any) {
+			leg1c <- legOne{err: fmt.Errorf(format, args...)}
+		}
+		raw, err := net.Dial("tcp", root.Addr())
+		if err != nil {
+			fail("dial: %v", err)
+			return
+		}
+		defer raw.Close()
+		// One bufio.Reader shared between the gob handshake and the
+		// binary frame reader, exactly as conn does it: gob reads one
+		// message at a time off it, so the codec switch happens at a
+		// clean frame boundary.
+		br := bufio.NewReader(raw)
+		enc, dec := gob.NewEncoder(raw), gob.NewDecoder(br)
+		if err := enc.Encode(&message{Kind: kindHello, Name: "fake",
+			Codecs: codecBytes([]Codec{CodecBinary})}); err != nil {
+			fail("hello: %v", err)
+			return
+		}
+		var ack message
+		if err := dec.Decode(&ack); err != nil {
+			fail("hello ack: %v", err)
+			return
+		}
+		if len(ack.Codecs) != 1 || Codec(ack.Codecs[0]) != CodecBinary {
+			fail("first hello-ack pinned codecs %v, want [binary]", ack.Codecs)
+			return
+		}
+
+		// Binary from here on, both directions.
+		var in interner
+		writeBin := func(m *message) error {
+			buf, err := appendFrame(nil, m)
+			if err != nil {
+				return err
+			}
+			_, err = raw.Write(buf)
+			return err
+		}
+		readBin := func() (*message, error) {
+			body, err := readFrame(br, nil)
+			if err != nil {
+				return nil, err
+			}
+			m := new(message)
+			if err := decodeFrame(body, m, &in); err != nil {
+				return nil, err
+			}
+			return m, nil
+		}
+		if err := writeBin(&message{Kind: kindRequest, N: 1}); err != nil {
+			fail("request: %v", err)
+			return
+		}
+		var id uint64
+		var payload []byte
+		for {
+			m, err := readBin()
+			if err != nil {
+				fail("read chunk: %v", err)
+				return
+			}
+			if m.Kind != kindChunk {
+				continue
+			}
+			payload = append(payload, m.Data...)
+			if err := writeBin(&message{Kind: kindChunkAck, Task: m.Task,
+				Offset: m.Offset + len(m.Data), Last: m.Last}); err != nil {
+				fail("chunk ack: %v", err)
+				return
+			}
+			if m.Last {
+				id = m.Task
+				break
+			}
+		}
+		// Return the result over the binary stream and die without
+		// waiting for the ack: the result stays unacked on the (fake)
+		// ledger and must be replayed after the revive.
+		if err := writeBin(&message{Kind: kindResult, Task: id, Origin: "fake",
+			Output: payload}); err != nil {
+			fail("result: %v", err)
+			return
+		}
+		leg1c <- legOne{id: id, payload: payload}
+	}()
+
+	resc := make(chan []Result, 1)
+	errc := make(chan error, 1)
+	go func() {
+		results, err := root.RunTimeout(makeTasks(tasks, 2048), 60*time.Second)
+		resc <- results
+		errc <- err
+	}()
+
+	leg1 := <-leg1c
+	if leg1.err != nil {
+		t.Fatalf("scripted child, binary leg: %v", leg1.err)
+	}
+
+	// Wait for the root to notice the dead link so the second dial
+	// revives the session rather than opening a parallel one.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		root.mu.Lock()
+		gone := false
+		for _, s := range root.children {
+			if s.name == "fake" && s.gone {
+				gone = true
+			}
+		}
+		root.mu.Unlock()
+		if gone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("root never marked the scripted child gone")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Revive speaking plain gob: the hello carries no Codecs, so the
+	// parent must drop this link to the gob floor even though the same
+	// session ran binary a moment ago.
+	raw2, err := net.Dial("tcp", root.Addr())
+	if err != nil {
+		t.Fatalf("re-dial: %v", err)
+	}
+	defer raw2.Close()
+	enc2, dec2 := gob.NewEncoder(raw2), gob.NewDecoder(raw2)
+	if err := enc2.Encode(&message{Kind: kindHello, Name: "fake",
+		Holding: []uint64{leg1.id}}); err != nil {
+		t.Fatalf("revive hello: %v", err)
+	}
+	var ack2 message
+	if err := dec2.Decode(&ack2); err != nil {
+		t.Fatalf("revive hello ack: %v", err)
+	}
+	if !ack2.Revived {
+		t.Fatalf("session was not revived")
+	}
+	if len(ack2.Codecs) != 0 {
+		t.Fatalf("gob-only revive got codec pick %v, want none (gob floor)", ack2.Codecs)
+	}
+	// Replay the unacked result over gob; the root already relayed it
+	// from the binary leg, so this must dedupe — and still be acked.
+	if err := enc2.Encode(&message{Kind: kindResult, Task: leg1.id, Origin: "fake",
+		Output: leg1.payload}); err != nil {
+		t.Fatalf("replay result: %v", err)
+	}
+	ackDeadline := time.After(10 * time.Second)
+	got := make(chan message, 1)
+	go func() {
+		for {
+			var m message
+			if dec2.Decode(&m) != nil {
+				return
+			}
+			if m.Kind == kindResultAck && m.Task == leg1.id {
+				select {
+				case got <- m:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case <-got:
+	case <-ackDeadline:
+		t.Fatalf("replayed result never acked over the gob leg")
+	}
+
+	results := <-resc
+	if err := <-errc; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	assertExactlyOnce(t, results, tasks)
+	if s := root.Stats(); s.ResultsDeduped < 1 {
+		t.Fatalf("ResultsDeduped = %d, want >= 1 (the gob replay of task %d)", s.ResultsDeduped, leg1.id)
+	}
+}
+
+// TestHelloAckDropRecovers injects a dropped hello-ack into a real
+// worker's reconnect: a scripted sever cuts the link mid-run, and the
+// first reconnect attempt's hello-ack is swallowed so the handshake
+// times out and the backoff loop must try again. The run must still
+// finish exactly-once, with the handshake timeout (not the 10s frame
+// write timeout) bounding the stall.
+func TestHelloAckDropRecovers(t *testing.T) {
+	const tasks = 24
+	plan := NewFaultPlan(
+		// Sever on the second chunk received, forcing a reconnect with a
+		// transfer mid-flight.
+		FaultRule{Link: "parent", Dir: FaultRecv, Kind: FrameChunk, After: 2, Op: FaultSever},
+		// Swallow the reconnect's hello-ack (ack #1 was the initial
+		// connect): the handshake must time out and retry.
+		FaultRule{Link: "parent", Dir: FaultRecv, Kind: FrameHelloAck, After: 2, Op: FaultDrop},
+	)
+	root := startNode(t, Config{
+		Name: "root", Listen: "127.0.0.1:0", Buffers: 3,
+		Compute: echoCompute(20 * time.Millisecond),
+	})
+	w := startNode(t, Config{
+		Name: "w", Parent: root.Addr(), Buffers: 3,
+		Compute:           echoCompute(2 * time.Millisecond),
+		Faults:            plan,
+		HandshakeTimeout:  300 * time.Millisecond,
+		ReconnectBase:     20 * time.Millisecond,
+		ReconnectCap:      200 * time.Millisecond,
+		ReconnectAttempts: 8,
+	})
+
+	results, err := root.RunTimeout(makeTasks(tasks, 2048), 60*time.Second)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	assertExactlyOnce(t, results, tasks)
+	if got := plan.Pending(); got != 0 {
+		t.Fatalf("fault plan has %d rules pending, want 0 (sever + ack drop must both fire)", got)
+	}
+	if s := w.Stats(); s.Reconnects < 1 {
+		t.Fatalf("Reconnects = %d, want >= 1", s.Reconnects)
 	}
 }

@@ -180,9 +180,11 @@ func (n *Node) wakeLocked() {
 	}
 }
 
-// sendChunk streams one chunk of s's active transfer, measures the time it
-// took (including any emulated link delay), and updates the child's
-// measured link speed — the only information the priority uses.
+// sendChunk streams up to ChunkBatch chunks of s's active transfer in
+// one batched write, measures the time it took (including any emulated
+// link delay), and updates the child's measured link speed — the only
+// information the priority uses. Preemption still happens between port
+// turns: a turn commits to at most one batch on one child.
 func (n *Node) sendChunk(s *childSession) {
 	n.mu.Lock()
 	tr := s.active
@@ -202,46 +204,68 @@ func (n *Node) sendChunk(s *childSession) {
 		tr.resumed = false
 	}
 	traceSeq := tr.traceSeq
+	task := tr.task
 	n.mu.Unlock()
 
-	end := offset + n.cfg.ChunkSize
-	if end > len(payload) {
-		end = len(payload)
+	// Build the turn's chunk frames into the port's reusable scratch. An
+	// empty payload still takes exactly one (empty, Last) chunk.
+	batch := n.cfg.ChunkBatch
+	if cap(n.portMsgs) < batch {
+		n.portMsgs = make([]message, batch)
+		n.portFrames = make([]*message, 0, batch)
 	}
-	last := end == len(payload)
-	m := &message{
-		Kind:      kindChunk,
-		Task:      tr.task.ID,
-		Size:      len(payload),
-		Offset:    offset,
-		Data:      payload[offset:end],
-		Last:      last,
-		TraceNode: n.cfg.Name,
-		TraceSeq:  traceSeq,
-		App:       tr.task.App,
+	msgs := n.portMsgs[:0]
+	frames := n.portFrames[:0]
+	end := offset
+	for {
+		chunkEnd := end + n.cfg.ChunkSize
+		if chunkEnd > len(payload) {
+			chunkEnd = len(payload)
+		}
+		msgs = append(msgs, message{
+			Kind:      kindChunk,
+			Task:      task.ID,
+			Size:      len(payload),
+			Offset:    end,
+			Data:      payload[end:chunkEnd],
+			Last:      chunkEnd == len(payload),
+			TraceNode: n.cfg.Name,
+			TraceSeq:  traceSeq,
+			App:       task.App,
+		})
+		end = chunkEnd
+		if end == len(payload) || len(msgs) == batch {
+			break
+		}
+	}
+	for i := range msgs {
+		frames = append(frames, &msgs[i])
 	}
 
-	if n.cfg.LinkDelay != nil {
+	if n.cfg.LinkDelay != nil { // ChunkBatch is forced to 1 with a LinkDelay
 		if d := n.cfg.LinkDelay(s.name); d > 0 {
 			time.Sleep(d)
 		}
 	}
 	start := time.Now()
-	err := c.send(m)
-	s.link.observe(time.Since(start) + delayOf(n.cfg.LinkDelay, s.name))
-
-	if err != nil {
-		// The child is unreachable; the grace window starts now and the
-		// task is reclaimed when it expires.
-		n.markChildGone(s, c)
-		return
+	accepted, err := c.sendBatch(frames)
+	perChunk := time.Since(start)
+	if accepted > 1 {
+		perChunk /= time.Duration(accepted)
 	}
+	s.link.observe(perChunk + delayOf(n.cfg.LinkDelay, s.name))
+
+	// The accepted prefix of the batch is on the wire (or scripted as
+	// dropped, which sequential sends also count as progress); advance the
+	// transfer that far even when the tail failed — the chunk-ack /
+	// resume machinery recovers the rest. The session may have been
+	// revived on a newer connection mid-send; only the owning connection
+	// may advance the transfer.
 	n.mu.Lock()
-	// The session may have been revived on a newer connection mid-send;
-	// only the owning connection may advance the transfer.
-	if s.c == c && s.active == tr {
-		tr.offset = end
-		if last {
+	if accepted > 0 && s.c == c && s.active == tr {
+		lastFrame := frames[accepted-1]
+		tr.offset = lastFrame.Offset + len(lastFrame.Data)
+		if lastFrame.Last {
 			// Every byte is written, but the task becomes the child's
 			// responsibility only when the final chunk is acked (or a
 			// reconnect handshake proves receipt).
@@ -249,6 +273,12 @@ func (n *Node) sendChunk(s *childSession) {
 		}
 	}
 	n.mu.Unlock()
+
+	if err != nil {
+		// The child is unreachable; the grace window starts now and the
+		// task is reclaimed when it expires.
+		n.markChildGone(s, c)
+	}
 }
 
 // delayOf folds the emulated link delay into the measured chunk time so

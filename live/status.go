@@ -20,7 +20,10 @@ type StatusSnapshot struct {
 	Children []string           `json:"children"`
 	Stats    Stats              `json:"stats"`
 	Links    map[string]float64 `json:"measuredLinkSeconds"` // EWMA per-chunk time by child
-	Uptime   string             `json:"uptime"`
+	// Codecs is the negotiated wire codec per link: one entry per
+	// connected child plus "parent" for the uplink.
+	Codecs map[string]string `json:"codecs,omitempty"`
+	Uptime string            `json:"uptime"`
 	// Connected reports whether the uplink is currently established; a
 	// non-root node mid-reconnect shows false (always true at the root).
 	Connected bool `json:"connected"`
@@ -110,13 +113,18 @@ func (s *statusServer) handle(w http.ResponseWriter, r *http.Request) {
 		Root:      n.root,
 		Buffered:  len(n.buffer),
 		Links:     map[string]float64{},
+		Codecs:    map[string]string{},
 		Uptime:    time.Since(s.started).Round(time.Millisecond).String(),
 		Connected: n.root || n.parent != nil,
+	}
+	if n.parent != nil {
+		snap.Codecs["parent"] = n.parent.codec.String()
 	}
 	for _, c := range n.children {
 		if !c.gone {
 			snap.Children = append(snap.Children, c.name)
 			snap.Links[c.name] = c.link.estimate()
+			snap.Codecs[c.name] = c.c.codec.String()
 		}
 	}
 	n.mu.Unlock()
@@ -223,6 +231,10 @@ func metricsSnapshot(st Stats, buffered, connected, children int64, uptime time.
 		counter("live_results_deduped_total", "duplicate results suppressed before relay or collection", st.ResultsDeduped),
 		counter("live_tasks_requeued_on_revive_total", "tasks requeued by revive-time reconciliation", st.RequeuedOnRevive),
 		counter("live_recorder_dropped_total", "flight-recorder events evicted by ring overflow", st.RecorderDropped),
+		counter("live_wire_frames_sent_total", "wire frames sent on all links", st.FramesSent),
+		counter("live_wire_frames_received_total", "wire frames received on all links", st.FramesReceived),
+		counter("live_wire_bytes_sent_total", "bytes written to all links, codec overhead included", st.BytesSent),
+		counter("live_wire_bytes_received_total", "bytes read from all links, codec overhead included", st.BytesReceived),
 		gauge("live_buffered_tasks", "tasks currently buffered", buffered),
 		gauge("live_queued_peak", "most tasks simultaneously buffered", int64(st.MaxQueued)),
 		gauge("live_connected", "whether the uplink is established (always 1 at the root)", connected),

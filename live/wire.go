@@ -1,8 +1,10 @@
 package live
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -119,6 +121,13 @@ type message struct {
 	// (informational — requests remain anonymous capacity, exactly as in
 	// the engine).
 	App string
+
+	// Codecs (appended field, back-compatible both directions like App
+	// and the trace context) carries codec-version negotiation: a hello
+	// lists every version beyond gob the child speaks, the hello-ack
+	// echoes the parent's pick. Peers that predate versioning skip the
+	// field and keep their gob streams. See Codec.
+	Codecs []uint8
 }
 
 // conn wraps a network connection with gob codecs and a write lock so
@@ -128,9 +137,30 @@ type message struct {
 // write deadline, and the fault-injection plan consulted on every frame.
 type conn struct {
 	raw net.Conn
+	w   io.Writer // raw wrapped with the byte counter; all writes go through it
 	enc *gob.Encoder
 	dec *gob.Decoder
-	wmu sync.Mutex
+	// br is the shared inbound buffer: the gob decoder reads through it
+	// (bufio.Reader is an io.ByteReader, so gob never double-buffers and
+	// never reads past a message boundary), which is what makes switching
+	// to binary framing at a frame boundary safe — the binary reader
+	// picks up exactly where the handshake's gob stream stopped.
+	br *bufio.Reader
+	// codec is the negotiated wire codec. It is written once during the
+	// handshake, before the conn is published to other goroutines, and
+	// stays fixed for the connection's lifetime (a reconnect negotiates
+	// afresh on a new conn).
+	codec Codec
+	wmu   sync.Mutex
+	// Write-side scratch, guarded by wmu: the reusable gob envelope (so
+	// callers' messages do not escape to the heap) and the binary encode
+	// buffer.
+	scratch message
+	wbuf    []byte
+	// Read-side scratch, owned by the conn's single reader goroutine.
+	rbuf   []byte
+	rmsg   message
+	intern interner
 	// peer is the fault-plan link selector: the remote node's name for
 	// child links, the literal "parent" on an uplink. peerName is the
 	// remote node's actual name for flight-recorder events; it is written
@@ -143,21 +173,65 @@ type conn struct {
 	// wireSeq stamps outbound frames with a node-unique sequence number;
 	// it points at the owning node's counter so numbering survives
 	// reconnects (one conn is replaced, the numbering is not).
-	wireSeq  *atomic.Uint64
+	wireSeq *atomic.Uint64
+	// ctr aggregates frame/byte counters into the owning node's stats;
+	// never nil for conns built by newConn.
+	ctr      *wireCounters
 	lastRecv atomic.Int64 // unix nanos of the last inbound frame
 	stop     chan struct{}
 	stopOnce sync.Once
 }
 
-func newConn(raw net.Conn, peer string, faults *FaultPlan, writeTO time.Duration, wireSeq *atomic.Uint64) *conn {
+// wireCounters aggregates data-plane volume across a node's conns (all
+// links, both directions, surviving reconnects).
+type wireCounters struct {
+	framesSent atomic.Int64
+	framesRecv atomic.Int64
+	bytesSent  atomic.Int64
+	bytesRecv  atomic.Int64
+}
+
+// countingWriter and countingReader meter raw link bytes (gob and binary
+// alike) into the owning node's wire counters.
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(int64(n))
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(int64(n))
+	return n, err
+}
+
+func newConn(raw net.Conn, peer string, faults *FaultPlan, writeTO time.Duration, wireSeq *atomic.Uint64, ctr *wireCounters) *conn {
+	if ctr == nil {
+		ctr = &wireCounters{}
+	}
+	w := &countingWriter{w: raw, n: &ctr.bytesSent}
+	br := bufio.NewReaderSize(&countingReader{r: raw, n: &ctr.bytesRecv}, 32<<10)
 	c := &conn{
 		raw:     raw,
-		enc:     gob.NewEncoder(raw),
-		dec:     gob.NewDecoder(raw),
+		w:       w,
+		enc:     gob.NewEncoder(w),
+		dec:     gob.NewDecoder(br),
+		br:      br,
 		peer:    peer,
 		faults:  faults,
 		writeTO: writeTO,
 		wireSeq: wireSeq,
+		ctr:     ctr,
 		stop:    make(chan struct{}),
 	}
 	c.lastRecv.Store(time.Now().UnixNano())
@@ -186,6 +260,17 @@ var errFaultSevered = fmt.Errorf("live: connection severed by fault plan")
 // send writes one message, serialized with the connection's write lock and
 // bounded by the per-message write deadline.
 func (c *conn) send(m *message) error {
+	return c.sendAs(m, c.codec)
+}
+
+// sendHandshake writes a hello or hello-ack. Handshake frames are always
+// gob — the codec a connection will speak is decided by this exchange,
+// so the exchange itself stays in the floor format every peer speaks.
+func (c *conn) sendHandshake(m *message) error {
+	return c.sendAs(m, CodecGob)
+}
+
+func (c *conn) sendAs(m *message, codec Codec) error {
 	if m.Seq == 0 {
 		m.Seq = c.wireSeq.Add(1)
 	}
@@ -202,21 +287,141 @@ func (c *conn) send(m *message) error {
 	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	return c.writeLocked(m, codec)
+}
+
+// writeLocked encodes and writes one frame; callers hold wmu. wmu exists
+// solely to serialize writes: it guards no other state, and the stall
+// lockdiscipline fears is capped by the write deadline.
+func (c *conn) writeLocked(m *message, codec Codec) error {
 	if c.writeTO > 0 {
 		_ = c.raw.SetWriteDeadline(time.Now().Add(c.writeTO))
 	}
-	// wmu exists solely to serialize this write: it guards no other state,
-	// and the stall lockdiscipline fears is capped by the write deadline.
+	if codec == CodecBinary {
+		buf, err := appendFrame(c.wbuf[:0], m)
+		if err != nil {
+			return err
+		}
+		c.wbuf = buf
+		//lint:bwvet-ignore wmu is a dedicated write lock; the write is bounded by SetWriteDeadline
+		if _, err := c.w.Write(buf); err != nil {
+			return err
+		}
+		c.ctr.framesSent.Add(1)
+		return nil
+	}
+	// Copy into the per-conn scratch envelope so the caller's message —
+	// typically a stack-allocated literal — does not escape through the
+	// encoder's interface argument.
+	c.scratch = *m
 	//lint:bwvet-ignore wmu is a dedicated write lock; the encode is bounded by SetWriteDeadline
-	return c.enc.Encode(m)
+	if err := c.enc.Encode(&c.scratch); err != nil {
+		return err
+	}
+	c.ctr.framesSent.Add(1)
+	return nil
+}
+
+// sendBatch writes the frames back to back — on a binary conn in one
+// buffer, one syscall — and reports how many leading frames the
+// "network" accepted (written or scripted as drops) before any error.
+// On a write error the count is 0: none of the batch may be assumed
+// delivered, and the link-failure path takes over. A scripted sever
+// cuts the batch at the severed frame, exactly where sequential sends
+// would have stopped.
+func (c *conn) sendBatch(ms []*message) (int, error) {
+	if c.codec != CodecBinary || len(ms) == 1 {
+		for i, m := range ms {
+			if err := c.send(m); err != nil {
+				return i, err
+			}
+		}
+		return len(ms), nil
+	}
+	accepted := 0
+	severed := false
+	keep := ms[:0] // compacted in place; only writes behind the read index
+	for i := 0; i < len(ms); i++ {
+		m := ms[i]
+		if m.Seq == 0 {
+			m.Seq = c.wireSeq.Add(1)
+		}
+		if c.faults != nil {
+			op, d := c.faults.decide(FaultSend, c.peer, FrameKind(m.Kind))
+			if op == FaultDrop {
+				accepted = i + 1
+				continue
+			}
+			if op == FaultDelay {
+				time.Sleep(d)
+			}
+			if op == FaultSever {
+				severed = true
+				break
+			}
+		}
+		keep = append(keep, m)
+		accepted = i + 1
+	}
+	var werr error
+	if len(keep) > 0 {
+		c.wmu.Lock()
+		if c.writeTO > 0 {
+			_ = c.raw.SetWriteDeadline(time.Now().Add(c.writeTO))
+		}
+		buf := c.wbuf[:0]
+		for _, m := range keep {
+			if buf, werr = appendFrame(buf, m); werr != nil {
+				break
+			}
+		}
+		c.wbuf = buf
+		if werr == nil {
+			//lint:bwvet-ignore wmu is a dedicated write lock; the write is bounded by SetWriteDeadline
+			if _, werr = c.w.Write(buf); werr == nil {
+				c.ctr.framesSent.Add(int64(len(keep)))
+			}
+		}
+		c.wmu.Unlock()
+	}
+	if severed {
+		_ = c.close()
+		if werr == nil {
+			werr = errFaultSevered
+		}
+		return accepted, werr
+	}
+	if werr != nil {
+		return 0, werr
+	}
+	return accepted, nil
 }
 
 // recv reads the next message, stamping the link's proof-of-life clock.
+// On a binary conn the returned message is the conn's reusable decode
+// slot: it is valid until the next recv, and its Data field aliases the
+// reusable read buffer (consumers copy before the next read; Output is
+// already copied by the decoder because results outlive the buffer).
 func (c *conn) recv() (*message, error) {
 	for {
-		var m message
-		if err := c.dec.Decode(&m); err != nil {
-			return nil, err
+		var m *message
+		if c.codec == CodecBinary {
+			body, err := readFrame(c.br, c.rbuf)
+			c.rbuf = body[:cap(body)]
+			if err != nil {
+				return nil, err
+			}
+			if err := decodeFrame(body, &c.rmsg, &c.intern); err != nil {
+				return nil, err
+			}
+			c.ctr.framesRecv.Add(1)
+			m = &c.rmsg
+		} else {
+			m = new(message)
+			if err := c.dec.Decode(m); err != nil {
+				return nil, err
+			}
+			c.ctr.framesRecv.Add(1)
 		}
 		c.lastRecv.Store(time.Now().UnixNano())
 		if c.faults != nil {
@@ -230,7 +435,7 @@ func (c *conn) recv() (*message, error) {
 				return nil, errFaultSevered
 			}
 		}
-		return &m, nil
+		return m, nil
 	}
 }
 
