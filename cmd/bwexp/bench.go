@@ -154,7 +154,16 @@ func runBenchJSON(out io.Writer, dir string, trees int, tasks int64) (string, er
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
-	path := filepath.Join(dir, "BENCH_"+time.Now().UTC().Format("2006-01-02")+".json")
+	// Several baselines can land on one day (a perf PR next to an
+	// unrelated one); never clobber an existing file — suffix instead.
+	base := "BENCH_" + time.Now().UTC().Format("2006-01-02")
+	path := filepath.Join(dir, base+".json")
+	for n := 2; ; n++ {
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			break
+		}
+		path = filepath.Join(dir, fmt.Sprintf("%s.%d.json", base, n))
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return "", err

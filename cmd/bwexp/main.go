@@ -7,20 +7,25 @@
 //	bwexp -exp fig4                 # one experiment at default scale
 //	bwexp -exp all -trees 2000      # the whole evaluation, larger population
 //	bwexp -exp fig4 -paper          # the paper's full 25,000×10,000 scale
+//	bwexp -exp paperscale -json paperscale.json   # full-scale streamed sweep + artifact
 //	bwexp -bench-json               # write the BENCH_<date>.json perf baseline
 //	bwexp -exp fig4 -cpuprofile cpu.pb.gz   # profile a sweep (also -memprofile, -trace)
 //
-// Experiments: fig3 fig4 fig5 fig6 fig7 table1 table2 ablation-policy
-// ablation-interrupt ablation-decay churn detector fairness overlay
-// overlay-improve all. Figure 6 and Table 1 reuse Figure 4's populations,
-// so "-exp all" runs those simulations once.
+// Experiments: fig3 fig4 fig5 fig6 fig7 table1 table2 paperscale
+// ablation-policy ablation-interrupt ablation-decay churn detector
+// fairness overlay overlay-improve all. Figure 6 and Table 1 reuse
+// Figure 4's populations, so "-exp all" runs those simulations once;
+// paperscale streams Figure 4 + Table 1 at the paper's full scale and is
+// not part of "all".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
@@ -82,6 +87,27 @@ func writeFile(dir, name string, fn func(io.Writer) error) error {
 	return f.Close()
 }
 
+// writeJSONPath writes v as indented JSON to path, creating parent
+// directories as needed.
+func writeJSONPath(path string, v any) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func sanitize(s string) string {
 	out := make([]rune, 0, len(s))
 	for _, r := range s {
@@ -105,7 +131,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bwexp", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment id: fig3 fig4 fig5 fig6 fig7 table1 table2 ablation-policy ablation-interrupt ablation-decay churn detector fairness overlay overlay-improve all")
+		exp       = fs.String("exp", "all", "experiment id: fig3 fig4 fig5 fig6 fig7 table1 table2 paperscale ablation-policy ablation-interrupt ablation-decay churn detector fairness overlay overlay-improve all")
 		trees     = fs.Int("trees", 0, "population size (0 = experiment default)")
 		tasks     = fs.Int64("tasks", 0, "application size (0 = experiment default)")
 		seed      = fs.Uint64("seed", 0, "generator seed (0 = default)")
@@ -116,6 +142,7 @@ func run(args []string, out io.Writer) error {
 		paper     = fs.Bool("paper", false, "use the paper's full scale (25000 trees, 10000 tasks)")
 		quiet     = fs.Bool("q", false, "suppress progress timing")
 		csvDir    = fs.String("csv", "", "also write machine-readable results (CSV/JSON) into this directory")
+		jsonOut   = fs.String("json", "", "write the experiment's JSON artifact to this path (paperscale)")
 
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -262,6 +289,26 @@ func run(args []string, out io.Writer) error {
 			var r *experiments.Table2Result
 			if r, err = experiments.Table2(to); err == nil {
 				err = r.Render(out)
+			}
+		case "paperscale":
+			// Full paper scale by default — 25,000 trees × 10,000 tasks,
+			// streamed — unless the caller sized the sweep explicitly.
+			po := o
+			if !*paper {
+				pp := experiments.Paper()
+				if *trees == 0 {
+					po.Trees = pp.Trees
+				}
+				if *tasks == 0 {
+					po.Tasks = pp.Tasks
+				}
+			}
+			var r *experiments.PaperScaleResult
+			if r, err = experiments.PaperScale(po); err == nil {
+				err = r.Render(out)
+			}
+			if err == nil && *jsonOut != "" {
+				err = writeJSONPath(*jsonOut, r.JSON())
 			}
 		case "fig7":
 			var r *experiments.Fig7Result

@@ -407,6 +407,9 @@ type engine struct {
 	completed   int64
 	completions []sim.Time
 
+	// statsBuf backs Result.Nodes, reused across a Runner's runs.
+	statsBuf []NodeStat
+
 	// Multi-application state (empty in single-application runs): one
 	// released pool, weight, completion stream and requeue counter per
 	// workload. totalTasks is the sum over workloads (== cfg.Tasks in
@@ -424,22 +427,78 @@ type engine struct {
 	ckIdx       int
 }
 
+// Runner executes simulation runs while reusing the expensive run state
+// across calls: the simulator (and with it the event free list), the
+// per-node runtime-state table with its child lists, and the completions
+// and node-statistics buffers. A sweep worker that evaluates thousands
+// of trees through one Runner allocates this state once instead of per
+// tree; at paper scale this removes most of the engine's per-run
+// allocation profile.
+//
+// A Runner is not safe for concurrent use: run one per goroutine. The
+// Result returned by Run — including its Completions, Nodes and
+// Checkpoints slices — aliases the Runner's buffers and is valid only
+// until the next Run call on the same Runner; callers that retain a
+// Result across runs must copy what they keep. The package-level Run
+// uses a fresh Runner per call and its Results are immortal, as before.
+type Runner struct {
+	e engine
+}
+
+// NewRunner returns an empty Runner; its buffers grow to fit the runs it
+// executes and are then recycled.
+func NewRunner() *Runner {
+	r := &Runner{}
+	r.e.s = sim.New(&r.e)
+	return r
+}
+
+// Run simulates cfg to completion, reusing the Runner's buffers. Results
+// are bit-identical to the package-level Run on the same Config.
+func (r *Runner) Run(cfg Config) (*Result, error) {
+	return r.e.run(cfg)
+}
+
 // Run simulates cfg to completion and returns the result. It returns an
 // error if the configuration is invalid, the run exceeds MaxSteps, or the
 // simulation deadlocks before all tasks complete (which would indicate an
 // engine bug; the test suite exercises this path with fault injection).
 func Run(cfg Config) (*Result, error) {
+	return NewRunner().Run(cfg)
+}
+
+// reset rebuilds e for a new run, recycling the buffers that matter:
+// the simulator's event free list, the nodes table (initNodes reuses the
+// per-element child and shelf arrays), completions, checkpoints and the
+// node-statistics buffer. Every other field restarts at its zero value.
+func (e *engine) reset(cfg Config) {
+	// The engine only writes to the tree when the config carries mid-run
+	// mutations or attachments; a plain run can execute on the caller's
+	// tree directly, which keeps the sweep hot path clone-free.
+	t := cfg.Tree
+	if len(cfg.Mutations) > 0 || len(cfg.Attachments) > 0 {
+		t = cfg.Tree.Clone()
+	}
+	*e = engine{
+		cfg:         cfg,
+		t:           t,
+		s:           e.s,
+		nodes:       e.nodes,
+		completions: e.completions[:0],
+		checkpoints: e.checkpoints[:0],
+		statsBuf:    e.statsBuf,
+		pool:        cfg.Tasks,
+		totalTasks:  cfg.Tasks,
+		trace:       cfg.Tracer,
+	}
+	e.s.Reset()
+}
+
+func (e *engine) run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := &engine{
-		cfg:        cfg,
-		t:          cfg.Tree.Clone(),
-		pool:       cfg.Tasks,
-		totalTasks: cfg.Tasks,
-		trace:      cfg.Tracer,
-	}
-	e.s = sim.New(e)
+	e.reset(cfg)
 	if cfg.Protocol.Order == protocol.Random {
 		e.rng = rand.New(rand.NewPCG(cfg.Seed, 0xda3e39cb94b95bdb))
 	}
@@ -461,7 +520,9 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 	}
-	e.completions = make([]sim.Time, 0, e.totalTasks)
+	if cap(e.completions) < int(e.totalTasks) {
+		e.completions = make([]sim.Time, 0, e.totalTasks)
+	}
 
 	e.initNodes(0)
 
@@ -492,11 +553,14 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("engine: deadlock: simulation drained with %d/%d tasks complete", e.completed, e.totalTasks)
 	}
 
+	if cap(e.statsBuf) < len(e.nodes) {
+		e.statsBuf = make([]NodeStat, len(e.nodes))
+	}
 	res := &Result{
 		Tree:             e.t,
 		Completions:      e.completions,
 		Makespan:         e.s.Now(),
-		Nodes:            make([]NodeStat, len(e.nodes)),
+		Nodes:            e.statsBuf[:len(e.nodes)],
 		Checkpoints:      e.checkpoints,
 		Steps:            e.s.Steps(),
 		Requeued:         e.requeued,
@@ -587,15 +651,20 @@ func (e *engine) initNodes(from int) {
 	for id := from; id < n; id++ {
 		kids := e.t.Children(tree.NodeID(id))
 		ns := &e.nodes[id]
+		// Recycle the element's child and shelf backing arrays across runs
+		// (a Runner keeps the nodes table; fresh elements start nil).
+		children := ns.children[:0]
+		shelves := ns.shelves[:0]
 		*ns = nodeState{
-			children:    make([]int32, len(kids)),
 			capacity:    int64(e.cfg.Protocol.InitialBuffers),
 			maxCapacity: int64(e.cfg.Protocol.InitialBuffers),
 			sending:     noChild,
 		}
-		for i, k := range kids {
-			ns.children[i] = int32(k)
+		for _, k := range kids {
+			children = append(children, int32(k))
 		}
+		ns.children = children
+		ns.shelves = shelves
 		if e.multi {
 			ns.occApp = make([]int64, len(e.cfg.Workloads))
 			ns.appCredit = make([]int64, len(e.cfg.Workloads))

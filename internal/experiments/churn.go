@@ -44,7 +44,7 @@ func Churn(o Options, events int) (*ChurnResult, error) {
 	slow := make([]float64, o.Trees)
 	req := make([]float64, o.Trees)
 	finished := make([]bool, o.Trees)
-	if err := parallelFor(o.Trees, o.workers(), func(i int) error {
+	if err := parallelFor(o.Trees, o.workers(), func(_, i int) error {
 		tr := randtree.TreeAt(o.Params, o.Seed, i)
 		static, err := engine.Run(engine.Config{Tree: tr, Protocol: proto, Tasks: o.Tasks})
 		if err != nil {
@@ -136,7 +136,7 @@ func AblationDecay(o Options) (*AblationDecayResult, error) {
 		var sumTotal, sumRetired float64
 		outcomes := make([]TreeOutcome, o.Trees)
 		results := make([]*engine.Result, o.Trees)
-		if err := parallelFor(o.Trees, o.workers(), func(i int) error {
+		if err := parallelFor(o.Trees, o.workers(), func(_, i int) error {
 			oc, res, err := EvaluateTree(o, proto, i, nil)
 			outcomes[i] = oc
 			results[i] = res

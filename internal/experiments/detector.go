@@ -41,21 +41,21 @@ func Detector(o Options) (*DetectorResult, error) {
 		exact     steady.Class
 	}
 	verdicts := make([]verdict, o.Trees)
-	if err := parallelFor(o.Trees, o.workers(), func(i int) error {
+	if err := parallelFor(o.Trees, o.workers(), func(_, i int) error {
 		tr := randtree.TreeAt(o.Params, o.Seed, i)
 		_, res, err := EvaluateTree(o, proto, i, nil)
 		if err != nil {
 			return err
 		}
-		opt := optimal.Compute(tr)
-		series, err := window.New(res.Completions, opt.TreeWeight)
+		w := optimal.Weight(tr)
+		series, err := window.New(res.Completions, w)
 		if err != nil {
 			return err
 		}
 		det := steady.Detect(res.Completions, steady.Options{})
 		verdicts[i] = verdict{
 			heuristic: series.Reached(o.Threshold),
-			exact:     det.Classify(opt.TreeWeight),
+			exact:     det.Classify(w),
 		}
 		if verdicts[i].exact == steady.Anomalous {
 			return fmt.Errorf("detector: tree %d steady rate above optimal (model bug)", i)

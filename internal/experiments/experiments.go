@@ -47,11 +47,29 @@ type Options struct {
 	// Progress, when non-nil, observes sweep advancement: it is called
 	// after each simulated tree with the number of trees finished so far
 	// in the current population and the population size. Calls are
-	// serialized (done is strictly increasing) but arrive from worker
-	// goroutines, so the callback must be fast and must not call back
-	// into the sweep. Reporting does not perturb results: the tree
-	// population and all outcomes are independent of it.
+	// serialized and done increases by exactly one per call, but they
+	// arrive from worker goroutines. The callback runs outside the
+	// sweep's aggregation lock, so a slow callback delays reporting but
+	// never serializes the workers; it must not call back into the
+	// sweep. Reporting does not perturb results: the tree population and
+	// all outcomes are independent of it.
 	Progress func(done, total int)
+
+	// Stream, when true, makes RunPopulation aggregate each tree's
+	// outcome incrementally instead of materializing the Outcomes slice:
+	// the returned Populations carry a nil Outcomes and a PopulationAgg
+	// holding the same aggregates (reached fraction, onset CDF, median
+	// onset, buffer maxima) bit-identical to the materialized path, in
+	// O(Tasks) memory regardless of tree count. Experiments that need
+	// per-tree records (Figure 6's shape histograms, ablations) must run
+	// materialized.
+	Stream bool
+
+	// Observer, when non-nil, receives every TreeOutcome as it
+	// completes, from worker goroutines, unordered. It lets streaming
+	// callers keep custom per-tree statistics without materializing the
+	// population. The callback must be safe for concurrent use.
+	Observer func(TreeOutcome)
 }
 
 // Default returns scaled-down defaults that preserve the paper's shapes:
@@ -133,24 +151,118 @@ type TreeOutcome struct {
 // SweepMetrics instruments one population sweep: wall-clock throughput
 // plus the engine counters summed over every tree in the population. The
 // Engine aggregate is deterministic (integer sums over deterministic
-// runs); Elapsed and TreesPerSec are wall-clock measurements.
+// runs) with one caveat: FreeListHits and EventAllocs depend on how warm
+// each worker's reused run state is, so their split varies with the
+// worker count and work partition (their sum, the total Schedule count,
+// stays deterministic). Elapsed and TreesPerSec are wall-clock
+// measurements.
 type SweepMetrics struct {
 	Elapsed     time.Duration
 	TreesPerSec float64
 	Engine      engine.Metrics
 }
 
+// PopulationAgg is the streaming aggregate of one protocol's population
+// sweep. It holds counting histograms over the per-tree outcome fields
+// the figures and tables consume, so every aggregate the materialized
+// Population offers is available — bit-identical — without retaining a
+// TreeOutcome per tree. Onset windows are bounded by Tasks/2 and buffer
+// counts by Tasks, so the histograms take O(Tasks) memory regardless of
+// how many trees the sweep visits.
+type PopulationAgg struct {
+	Trees   int // trees observed
+	Reached int // trees that reached the optimal steady state
+
+	onsets      *stats.Counter // onset window per reached tree
+	reachedUsed *stats.Counter // MaxNodeUsed per reached tree
+
+	// Population-wide maxima (zero when no trees were observed).
+	MaxNodeBuffersMax int64
+	MaxNodeUsedMax    int64
+	TotalBuffersMax   int64
+}
+
+// NewPopulationAgg returns an empty streaming aggregate.
+func NewPopulationAgg() *PopulationAgg {
+	return &PopulationAgg{onsets: stats.NewCounter(), reachedUsed: stats.NewCounter()}
+}
+
+// Observe folds one tree's outcome into the aggregate. It is not safe
+// for concurrent use; RunPopulation serializes calls under its
+// aggregation lock. Observation order does not affect any aggregate.
+func (a *PopulationAgg) Observe(oc TreeOutcome) {
+	a.Trees++
+	if oc.Reached {
+		a.Reached++
+		a.onsets.Add(int64(oc.Onset))
+		a.reachedUsed.Add(oc.MaxNodeUsed)
+	}
+	a.MaxNodeBuffersMax = max(a.MaxNodeBuffersMax, oc.MaxNodeBuffers)
+	a.MaxNodeUsedMax = max(a.MaxNodeUsedMax, oc.MaxNodeUsed)
+	a.TotalBuffersMax = max(a.TotalBuffersMax, oc.TotalBuffers)
+}
+
+// ReachedFraction returns the fraction of trees that reached the optimal
+// steady-state rate.
+func (a *PopulationAgg) ReachedFraction() float64 {
+	if a.Trees == 0 {
+		return 0
+	}
+	return float64(a.Reached) / float64(a.Trees)
+}
+
+// OnsetCDF returns the Figure 4 curve from the onset histogram: the
+// fraction of all trees with onset <= x for each x in xs (ascending).
+func (a *PopulationAgg) OnsetCDF(xs []int64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if i > 0 && x < xs[i-1] {
+			panic("experiments: CDF series points must be ascending")
+		}
+		if a.Trees == 0 {
+			continue
+		}
+		out[i] = float64(a.onsets.CountAtMost(x)) / float64(a.Trees)
+	}
+	return out
+}
+
+// MedianOnset returns the median onset window among reached trees, or 0
+// when none reached.
+func (a *PopulationAgg) MedianOnset() int64 {
+	if a.onsets.Total() == 0 {
+		return 0
+	}
+	return a.onsets.Median()
+}
+
+// ReachedWithAtMostBuffers returns the fraction of all trees that both
+// reached the optimal rate and never needed more than n buffered tasks
+// at any single node.
+func (a *PopulationAgg) ReachedWithAtMostBuffers(n int64) float64 {
+	if a.Trees == 0 {
+		return 0
+	}
+	return float64(a.reachedUsed.CountAtMost(n)) / float64(a.Trees)
+}
+
 // Population is the outcome of one protocol over the whole tree
-// population.
+// population. Outcomes is nil when the sweep ran with Options.Stream;
+// the aggregate methods below answer from Agg in that case and remain
+// bit-identical to the materialized computation.
 type Population struct {
 	Protocol protocol.Protocol
 	Outcomes []TreeOutcome
+	Agg      *PopulationAgg
 	Sweep    SweepMetrics
 }
 
 // ReachedFraction returns the fraction of trees that reached the optimal
 // steady-state rate.
 func (p *Population) ReachedFraction() float64 {
+	if p.Outcomes == nil && p.Agg != nil {
+		return p.Agg.ReachedFraction()
+	}
 	n := 0
 	for i := range p.Outcomes {
 		if p.Outcomes[i].Reached {
@@ -166,6 +278,9 @@ func (p *Population) ReachedFraction() float64 {
 // OnsetCDF returns the paper's Figure 4 curve: the fraction of all trees
 // whose onset window is <= x, for each x in xs (ascending).
 func (p *Population) OnsetCDF(xs []int64) []float64 {
+	if p.Outcomes == nil && p.Agg != nil {
+		return p.Agg.OnsetCDF(xs)
+	}
 	c := stats.NewCDF()
 	for i := range p.Outcomes {
 		if p.Outcomes[i].Reached {
@@ -181,6 +296,9 @@ func (p *Population) OnsetCDF(xs []int64) []float64 {
 // optimal steady state, quantifying startup length (the paper observes
 // much longer startups under non-IC). It returns 0 when no tree reached.
 func (p *Population) MedianOnset() int64 {
+	if p.Outcomes == nil && p.Agg != nil {
+		return p.Agg.MedianOnset()
+	}
 	var onsets []int64
 	for i := range p.Outcomes {
 		if p.Outcomes[i].Reached {
@@ -197,6 +315,9 @@ func (p *Population) MedianOnset() int64 {
 // reached the optimal rate and never needed more than n buffered tasks at
 // any single node (Table 1's non-IC row).
 func (p *Population) ReachedWithAtMostBuffers(n int64) float64 {
+	if p.Outcomes == nil && p.Agg != nil {
+		return p.Agg.ReachedWithAtMostBuffers(n)
+	}
 	count := 0
 	for i := range p.Outcomes {
 		if p.Outcomes[i].Reached && p.Outcomes[i].MaxNodeUsed <= n {
@@ -209,13 +330,28 @@ func (p *Population) ReachedWithAtMostBuffers(n int64) float64 {
 	return float64(count) / float64(len(p.Outcomes))
 }
 
+// Evaluator runs trees through a persistent engine.Runner, so the event
+// free list, node table and completions buffer recycle across trees
+// instead of being reallocated per run. It is not safe for concurrent
+// use: sweeps hold one Evaluator per worker. The *engine.Result an
+// evaluation returns aliases the Evaluator's buffers and is valid only
+// until the next EvaluateTree call.
+type Evaluator struct {
+	r      *engine.Runner
+	series *window.Series
+}
+
+// NewEvaluator returns an Evaluator with cold run state.
+func NewEvaluator() *Evaluator { return &Evaluator{r: engine.NewRunner()} }
+
 // EvaluateTree runs one protocol on one tree and reduces the run to a
 // TreeOutcome. Checkpoints, when non-nil, are passed through to the engine
 // (Table 2 snapshots buffer usage mid-run); the raw result is returned for
-// experiments that need more than the outcome summary.
-func EvaluateTree(o Options, p protocol.Protocol, index int, checkpoints []int64) (TreeOutcome, *engine.Result, error) {
+// experiments that need more than the outcome summary, and is valid only
+// until this Evaluator's next run.
+func (ev *Evaluator) EvaluateTree(o Options, p protocol.Protocol, index int, checkpoints []int64) (TreeOutcome, *engine.Result, error) {
 	tr := randtree.TreeAt(o.Params, o.Seed, index)
-	res, err := engine.Run(engine.Config{
+	res, err := ev.r.Run(engine.Config{
 		Tree:        tr,
 		Protocol:    p,
 		Tasks:       o.Tasks,
@@ -225,11 +361,11 @@ func EvaluateTree(o Options, p protocol.Protocol, index int, checkpoints []int64
 	if err != nil {
 		return TreeOutcome{}, nil, fmt.Errorf("tree %d under %v: %w", index, p, err)
 	}
-	opt := optimal.Compute(tr)
-	series, err := window.New(res.Completions, opt.TreeWeight)
+	series, err := window.New(res.Completions, optimal.Weight(tr))
 	if err != nil {
 		return TreeOutcome{}, nil, fmt.Errorf("tree %d under %v: %w", index, p, err)
 	}
+	ev.series = series
 	out := TreeOutcome{
 		Index:          index,
 		Nodes:          tr.Len(),
@@ -245,8 +381,23 @@ func EvaluateTree(o Options, p protocol.Protocol, index int, checkpoints []int64
 	return out, res, nil
 }
 
+// Series returns the window series built by the last EvaluateTree call.
+// Like the *engine.Result, it aliases the Evaluator's buffers and is
+// valid only until the next EvaluateTree call.
+func (ev *Evaluator) Series() *window.Series { return ev.series }
+
+// EvaluateTree runs one tree through a fresh Evaluator. The result does
+// not alias shared state, so it may be retained; sweeps should prefer a
+// per-worker Evaluator to recycle run state across trees.
+func EvaluateTree(o Options, p protocol.Protocol, index int, checkpoints []int64) (TreeOutcome, *engine.Result, error) {
+	return NewEvaluator().EvaluateTree(o, p, index, checkpoints)
+}
+
 // RunPopulation evaluates each protocol over the same tree population in
-// parallel and returns one Population per protocol, in order.
+// parallel and returns one Population per protocol, in order. Each
+// worker reuses one Evaluator for the whole sweep, and every Population
+// carries the streaming aggregate; with o.Stream the per-tree Outcomes
+// slice is not materialized at all.
 func RunPopulation(o Options, protos []protocol.Protocol) ([]Population, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
@@ -254,32 +405,80 @@ func RunPopulation(o Options, protos []protocol.Protocol) ([]Population, error) 
 	if len(protos) == 0 {
 		return nil, fmt.Errorf("experiments: no protocols")
 	}
+	workers := o.workers()
+	evals := make([]*Evaluator, workers)
+	for i := range evals {
+		evals[i] = NewEvaluator()
+	}
 	out := make([]Population, len(protos))
 	for pi, p := range protos {
 		if err := p.Validate(); err != nil {
 			return nil, err
 		}
-		outcomes := make([]TreeOutcome, o.Trees)
+		var outcomes []TreeOutcome
+		if !o.Stream {
+			outcomes = make([]TreeOutcome, o.Trees)
+		}
+		popAgg := NewPopulationAgg()
 		var (
-			mu    sync.Mutex
-			agg   engine.Metrics
-			done  int
-			start = time.Now()
+			mu         sync.Mutex // guards agg, popAgg, done
+			agg        engine.Metrics
+			done       int
+			progressMu sync.Mutex // serializes Progress callbacks
+			reported   int        // guarded by mu; last done value reported
+			start      = time.Now()
 		)
-		if err := parallelFor(o.Trees, o.workers(), func(i int) error {
-			oc, res, err := EvaluateTree(o, p, i, nil)
+		// report drains pending progress values outside mu: whoever wins
+		// progressMu reports each done value 1..Trees exactly once, in
+		// order, while losers return immediately — a slow callback
+		// therefore delays reporting, never the workers. The post-unlock
+		// recheck closes the window where a worker increments done and
+		// finds progressMu still held by a drainer that just decided to
+		// stop.
+		report := func() {
+			for {
+				if !progressMu.TryLock() {
+					return
+				}
+				for {
+					mu.Lock()
+					if reported >= done {
+						mu.Unlock()
+						break
+					}
+					reported++
+					next := reported
+					mu.Unlock()
+					o.Progress(next, o.Trees)
+				}
+				progressMu.Unlock()
+				mu.Lock()
+				again := reported < done
+				mu.Unlock()
+				if !again {
+					return
+				}
+			}
+		}
+		if err := parallelFor(o.Trees, workers, func(worker, i int) error {
+			oc, res, err := evals[worker].EvaluateTree(o, p, i, nil)
 			if err != nil {
 				return err
 			}
-			outcomes[i] = oc
+			if outcomes != nil {
+				outcomes[i] = oc
+			}
+			if o.Observer != nil {
+				o.Observer(oc)
+			}
 			mu.Lock()
 			agg.Add(res.Metrics)
+			popAgg.Observe(oc)
 			done++
-			d := done
-			if o.Progress != nil {
-				o.Progress(d, o.Trees)
-			}
 			mu.Unlock()
+			if o.Progress != nil {
+				report()
+			}
 			return nil
 		}); err != nil {
 			return nil, err
@@ -289,22 +488,24 @@ func RunPopulation(o Options, protos []protocol.Protocol) ([]Population, error) 
 		if s := elapsed.Seconds(); s > 0 {
 			sweep.TreesPerSec = float64(o.Trees) / s
 		}
-		out[pi] = Population{Protocol: p, Outcomes: outcomes, Sweep: sweep}
+		out[pi] = Population{Protocol: p, Outcomes: outcomes, Agg: popAgg, Sweep: sweep}
 	}
 	return out, nil
 }
 
-// parallelFor runs fn(0..n-1) across at most workers goroutines and
-// returns the first error encountered, wrapped with the failing index
-// (all workers drain before return, so every index is either processed
-// or abandoned deterministically).
-func parallelFor(n, workers int, fn func(i int) error) error {
+// parallelFor runs fn over indices 0..n-1 across at most workers
+// goroutines and returns the first error encountered, wrapped with the
+// failing index (all workers drain before return, so every index is
+// either processed or abandoned deterministically). fn also receives the
+// worker's index in 0..workers-1, so callers can hold per-worker reusable
+// state (an Evaluator) without locking.
+func parallelFor(n, workers int, fn func(worker, i int) error) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return fmt.Errorf("experiments: index %d: %w", i, err)
 			}
 		}
@@ -335,32 +536,42 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i, ok := grab()
 				if !ok {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(worker, i); err != nil {
 					fail(i, err)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return firstErr
 }
 
-// gridInt64 returns points spaced evenly from step to max inclusive.
+// gridInt64 returns up to points values spaced evenly up to max
+// inclusive. Integer division makes several consecutive grid points
+// collapse to the same value (and the leading ones to zero) whenever
+// points > max; those zeros and duplicates are dropped, so the result
+// is strictly increasing and at most min(points, max) long.
 func gridInt64(max, points int) []int64 {
 	if points < 2 {
 		points = 2
 	}
-	out := make([]int64, points)
-	for i := range out {
-		out[i] = int64((i + 1) * max / points)
+	out := make([]int64, 0, points)
+	var prev int64
+	for i := 0; i < points; i++ {
+		v := int64(i+1) * int64(max) / int64(points)
+		if v == 0 || v == prev {
+			continue
+		}
+		out = append(out, v)
+		prev = v
 	}
 	return out
 }

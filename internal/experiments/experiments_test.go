@@ -403,7 +403,7 @@ func TestAblationInterrupt(t *testing.T) {
 func TestParallelForErrorPropagates(t *testing.T) {
 	o := tinyOptions()
 	o.Params.Comp = 1 // still valid
-	err := parallelFor(100, 4, func(i int) error {
+	err := parallelFor(100, 4, func(_, i int) error {
 		if i == 37 {
 			return errTest
 		}

@@ -256,7 +256,7 @@ func Fairness(o Options) (*FairnessResult, error) {
 			mu   sync.Mutex
 			done int
 		)
-		if err := parallelFor(o.Trees, o.workers(), func(i int) error {
+		if err := parallelFor(o.Trees, o.workers(), func(_, i int) error {
 			tr := randtree.TreeAt(o.Params, o.Seed, i)
 			oc, err := evaluateFairnessTree(o, tr, i, n)
 			if err != nil {

@@ -4,10 +4,7 @@ import (
 	"fmt"
 	"io"
 
-	"bwcs/internal/optimal"
 	"bwcs/internal/protocol"
-	"bwcs/internal/randtree"
-	"bwcs/internal/window"
 
 	"bwcs/internal/textplot"
 )
@@ -48,16 +45,16 @@ func Fig3(o Options) (*Fig3Result, error) {
 	if earlyCut < 10 {
 		earlyCut = 10
 	}
+	// The scan is serial, so one Evaluator recycles run state across
+	// every tree; the series built from res.Completions is consumed
+	// before the next evaluation invalidates it.
+	eval := NewEvaluator()
 	for i := 0; i < o.Trees && (spiky == nil || below == nil || reached == nil); i++ {
-		tr := randtree.TreeAt(o.Params, o.Seed, i)
-		oc, res, err := EvaluateTree(o, proto, i, nil)
+		oc, _, err := eval.EvaluateTree(o, proto, i, nil)
 		if err != nil {
 			return nil, err
 		}
-		series, err := window.New(res.Completions, optimal.Compute(tr).TreeWeight)
-		if err != nil {
-			return nil, err
-		}
+		series := eval.Series()
 		earlySpike := false
 		for x := 1; x <= earlyCut && x <= series.Windows(); x++ {
 			if series.AboveOptimal(x) {

@@ -76,7 +76,7 @@ func Fig7(tasks, mutateAt int64) (*Fig7Result, error) {
 
 	out := &Fig7Result{Tasks: tasks, MutateAt: mutateAt}
 	base := ExampleTree()
-	optBefore := optimal.Compute(base).Rate
+	optBefore := optimal.Weight(base).Inv()
 	for _, sc := range scenarios {
 		res, err := engine.Run(engine.Config{
 			Tree:      ExampleTree(),
@@ -91,7 +91,7 @@ func Fig7(tasks, mutateAt int64) (*Fig7Result, error) {
 		if sc.alt != nil {
 			mutated := ExampleTree()
 			sc.alt(mutated)
-			after = optimal.Compute(mutated).Rate
+			after = optimal.Weight(mutated).Inv()
 		}
 		s := Fig7Scenario{
 			Name:          sc.name,

@@ -137,7 +137,7 @@ func OverlayImprove(o Options, graphs, hosts int) (*OverlayImproveResult, error)
 		if err != nil {
 			return nil, err
 		}
-		base := optimal.Compute(baseTree).Rate
+		base := optimal.Weight(baseTree).Inv()
 		imp, err := overlay.Improve(g, 0, overlay.RandomSpanning, seed, 0)
 		if err != nil {
 			return nil, err
@@ -146,7 +146,7 @@ func OverlayImprove(o Options, graphs, hosts int) (*OverlayImproveResult, error)
 		if err != nil {
 			return nil, err
 		}
-		minRate := optimal.Compute(minTree).Rate
+		minRate := optimal.Weight(minTree).Inv()
 		best := rational.Max(rational.Max(base, imp.Rate), minRate)
 		sumBase += base.Div(best).Float64()
 		sumImp += imp.Rate.Div(best).Float64()

@@ -135,8 +135,12 @@ func Table2(o Options) (*Table2Result, error) {
 			maxAt[i] = make([]int64, co.Trees)
 		}
 		finalMax := make([]int64, co.Trees)
-		if err := parallelFor(co.Trees, co.workers(), func(i int) error {
-			_, res, err := EvaluateTree(co, proto, i, checkpoints)
+		evals := make([]*Evaluator, co.workers())
+		for i := range evals {
+			evals[i] = NewEvaluator()
+		}
+		if err := parallelFor(co.Trees, co.workers(), func(worker, i int) error {
+			_, res, err := evals[worker].EvaluateTree(co, proto, i, checkpoints)
 			if err != nil {
 				return err
 			}

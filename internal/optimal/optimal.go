@@ -31,7 +31,8 @@ package optimal
 
 import (
 	"fmt"
-	"sort"
+	"math/big"
+	"slices"
 
 	"bwcs/internal/rational"
 	"bwcs/internal/tree"
@@ -115,14 +116,10 @@ func Compute(t *tree.Tree) *Allocation {
 	}
 
 	// Bottom-up: subtree weights via the fork formula.
-	t.WalkPost(func(id tree.NodeID) {
-		internal := forkWeight(t, id, a.SubWeight)
-		if id == t.Root() {
-			a.SubWeight[id] = internal
-			return
-		}
-		a.SubWeight[id] = rational.Max(rational.FromInt(t.C(id)), internal)
-	})
+	wc := computeWeights(t)
+	for i := range a.SubWeight {
+		a.SubWeight[i] = rational.FromBig(&wc.sub[i])
+	}
 	a.TreeWeight = a.SubWeight[t.Root()]
 	a.Rate = a.TreeWeight.Inv()
 
@@ -136,30 +133,77 @@ func Compute(t *tree.Tree) *Allocation {
 	return a
 }
 
-// forkWeight applies the single-level formula at node id, using sub[] for
-// already-computed child subtree weights. It returns the internal weight,
-// i.e. without the node's own inbound cap.
-func forkWeight(t *tree.Tree, id tree.NodeID, sub []rational.Rat) rational.Rat {
+// Weight computes only wtree — the bottom-up pass of the theorem —
+// without materializing the optimal schedule. The population sweeps call
+// this once per tree (the onset detector needs nothing but the optimal
+// rate), so it avoids the top-down distribution pass and runs the fork
+// formula with in-place big.Rat arithmetic instead of immutable
+// rational.Rat churn: same exact values, a fraction of the allocations.
+func Weight(t *tree.Tree) rational.Rat {
+	wc := computeWeights(t)
+	return rational.FromBig(&wc.sub[t.Root()])
+}
+
+// weightCalc holds the bottom-up pass's state: exact subtree weights
+// plus reusable scratch, so the per-node fork formula allocates only
+// when a rational outgrows its backing storage.
+type weightCalc struct {
+	sub  []big.Rat // W(i), exact
+	kids []tree.NodeID
+
+	rate, budget, c, need, tmp big.Rat
+}
+
+// computeWeights runs the fork formula bottom-up over the whole tree.
+func computeWeights(t *tree.Tree) *weightCalc {
+	wc := &weightCalc{sub: make([]big.Rat, t.Len())}
+	t.WalkPost(func(id tree.NodeID) {
+		wc.fork(t, id)
+	})
+	return wc
+}
+
+// fork applies the single-level formula at node id: it sets sub[id] to
+// the subtree weight W(id) — the internal weight capped below by the
+// node's own inbound communication time (except at the root, which has
+// no inbound link).
+func (wc *weightCalc) fork(t *tree.Tree, id tree.NodeID) {
 	// rate accumulates 1/w0 + Σ 1/W(i) + ε/c_{p+1}; budget is the
 	// remaining send-port fraction.
-	rate := rational.New(1, t.W(id))
-	budget := rational.One()
-	for _, child := range sortedByComm(t, id) {
-		c := rational.FromInt(t.C(child))
-		need := c.Div(sub[child]) // port fraction to keep this subtree saturated
-		if need.LessEq(budget) {
-			rate = rate.Add(sub[child].Inv())
-			budget = budget.Sub(need)
+	rate, budget := &wc.rate, &wc.budget
+	rate.SetFrac64(1, t.W(id))
+	budget.SetInt64(1)
+	for _, child := range wc.sortedKids(t, id) {
+		sub := &wc.sub[child]
+		wc.c.SetInt64(t.C(child))
+		wc.need.Quo(&wc.c, sub) // port fraction to keep this subtree saturated
+		if wc.need.Cmp(budget) <= 0 {
+			rate.Add(rate, wc.tmp.Inv(sub))
+			budget.Sub(budget, &wc.need)
 			continue
 		}
 		// Partially fed child: leftover port fraction ε buys ε/c tasks
 		// per time; everyone after starves.
 		if budget.Sign() > 0 {
-			rate = rate.Add(budget.Div(c))
+			rate.Add(rate, wc.tmp.Quo(budget, &wc.c))
 		}
 		break
 	}
-	return rate.Inv()
+	res := &wc.sub[id]
+	res.Inv(rate)
+	if id != t.Root() {
+		if wc.c.SetInt64(t.C(id)); res.Cmp(&wc.c) < 0 {
+			res.Set(&wc.c)
+		}
+	}
+}
+
+// sortedKids returns id's children ordered by increasing communication
+// time (ties by node ID), in a buffer reused across nodes.
+func (wc *weightCalc) sortedKids(t *tree.Tree, id tree.NodeID) []tree.NodeID {
+	wc.kids = append(wc.kids[:0], t.Children(id)...)
+	sortByComm(t, wc.kids)
+	return wc.kids
 }
 
 // distribute splits node id's inflow between its own CPU and its children
@@ -196,14 +240,28 @@ func distribute(t *tree.Tree, id tree.NodeID, a *Allocation) {
 // deterministic. This is the bandwidth-centric priority order.
 func sortedByComm(t *tree.Tree, id tree.NodeID) []tree.NodeID {
 	kids := append([]tree.NodeID(nil), t.Children(id)...)
-	sort.Slice(kids, func(i, j int) bool {
-		ci, cj := t.C(kids[i]), t.C(kids[j])
-		if ci != cj {
-			return ci < cj
-		}
-		return kids[i] < kids[j]
-	})
+	sortByComm(t, kids)
 	return kids
+}
+
+// sortByComm orders kids in place by increasing communication time,
+// breaking ties by node ID.
+func sortByComm(t *tree.Tree, kids []tree.NodeID) {
+	slices.SortFunc(kids, func(a, b tree.NodeID) int {
+		if ca, cb := t.C(a), t.C(b); ca != cb {
+			if ca < cb {
+				return -1
+			}
+			return 1
+		}
+		if a < b {
+			return -1
+		}
+		if a > b {
+			return 1
+		}
+		return 0
+	})
 }
 
 // Fork computes Theorem 1 directly for a single-level fork, given the

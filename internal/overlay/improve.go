@@ -123,5 +123,5 @@ func overlayRate(g *Graph, root int, parent []int, cost []int64) rational.Rat {
 		// Unreachable for valid move generation; surface loudly in tests.
 		panic(err)
 	}
-	return optimal.Compute(t).Rate
+	return optimal.Weight(t).Inv()
 }

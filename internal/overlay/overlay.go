@@ -370,7 +370,7 @@ func Compare(g *Graph, root int, seed uint64) ([]Comparison, error) {
 		}
 		out = append(out, Comparison{
 			Strategy: s,
-			Rate:     optimal.Compute(t).Rate,
+			Rate:     optimal.Weight(t).Inv(),
 			Depth:    t.MaxDepth(),
 		})
 	}

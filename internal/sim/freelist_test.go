@@ -53,6 +53,77 @@ func TestFreeListRecyclesAfterCancel(t *testing.T) {
 	}
 }
 
+// TestResetKeepsFreeListWarm: Reset clears the clock, queue and per-run
+// counters but keeps the free list, so the next run's Schedule calls are
+// served from recycled events instead of allocating cold.
+func TestResetKeepsFreeListWarm(t *testing.T) {
+	s := New(&collect{})
+	for i := 0; i < 4; i++ {
+		s.Schedule(Time(i+1), 1, int32(i), 0)
+	}
+	s.Step()
+	s.Step() // two fired, two still queued
+
+	s.Reset()
+	if s.Now() != 0 || s.Steps() != 0 || s.Pending() != 0 || s.PeakPending() != 0 {
+		t.Fatalf("reset left state behind: now=%d steps=%d pending=%d peak=%d",
+			s.Now(), s.Steps(), s.Pending(), s.PeakPending())
+	}
+	if s.FreeListHits() != 0 || s.Allocs() != 0 || s.Cancelled() != 0 {
+		t.Fatalf("reset left counters: hits=%d allocs=%d cancelled=%d",
+			s.FreeListHits(), s.Allocs(), s.Cancelled())
+	}
+
+	// All four events from the first run (fired and still-queued alike)
+	// are now in the free list: the warm run allocates nothing.
+	for i := 0; i < 4; i++ {
+		s.Schedule(Time(i+1), 2, int32(i), 0)
+	}
+	if s.Allocs() != 0 {
+		t.Fatalf("warm run allocated %d events, want 0", s.Allocs())
+	}
+	if s.FreeListHits() != 4 {
+		t.Fatalf("warm run free-list hits = %d, want 4", s.FreeListHits())
+	}
+	// And the second run is a working simulation from t=0.
+	if !s.Step() {
+		t.Fatalf("no event fired after reset")
+	}
+	if s.Now() != 1 {
+		t.Fatalf("clock after first post-reset event = %d, want 1", s.Now())
+	}
+}
+
+// TestResetDeterministicReplay: the same schedule drives identical event
+// orders before and after a Reset — reuse cannot leak state that changes
+// scheduling.
+func TestResetDeterministicReplay(t *testing.T) {
+	run := func(s *Simulator, h *collect) []Event {
+		h.fired = nil
+		s.Schedule(3, 1, 1, 0)
+		s.Schedule(3, 2, 2, 0)
+		e := s.Schedule(1, 3, 3, 0)
+		s.Schedule(2, 4, 4, 0)
+		s.Cancel(e)
+		s.Run(0)
+		return h.fired
+	}
+	h := &collect{}
+	s := New(h)
+	first := run(s, h)
+	s.Reset()
+	second := run(s, h)
+	if len(first) != len(second) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].at != second[i].at || first[i].seq != second[i].seq ||
+			first[i].Kind != second[i].Kind || first[i].Node != second[i].Node {
+			t.Fatalf("event %d differs after reset: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+}
+
 // TestCancelHeavyConsistency drives an IC-shelving-like workload — a
 // rolling window of scheduled events where a fixed fraction is cancelled
 // before it can fire — and checks the kernel's books stay balanced

@@ -95,6 +95,28 @@ func (s *Simulator) Allocs() uint64 { return s.allocs }
 // Cancelled returns how many queued events were removed by Cancel.
 func (s *Simulator) Cancelled() uint64 { return s.cancelled }
 
+// Reset returns the simulator to time 0 with an empty queue so it can
+// run another simulation. Events still queued are recycled, and the free
+// list is kept: a sweep that reuses one Simulator per worker serves the
+// next run's Schedule calls from already-allocated events instead of
+// starting cold (see engine.Runner). The per-run instrumentation
+// counters (Steps, PeakPending, FreeListHits, Allocs, Cancelled) restart
+// at zero; FreeListHits of a warm reused simulator therefore counts
+// cross-run recycling as hits, which is the point.
+func (s *Simulator) Reset() {
+	for _, e := range s.heap {
+		s.recycle(e)
+	}
+	s.heap = s.heap[:0]
+	s.now = 0
+	s.seq = 0
+	s.steps = 0
+	s.peakHeap = 0
+	s.freeHits = 0
+	s.allocs = 0
+	s.cancelled = 0
+}
+
 // Schedule queues an event delay timesteps from now and returns it. The
 // returned pointer is valid until the event fires or is cancelled. Delay
 // must be non-negative.

@@ -1,0 +1,113 @@
+package stats
+
+import "fmt"
+
+// Counter is a counting histogram over non-negative int64 values with a
+// small range (onset windows, buffer counts). It answers order
+// statistics — median, percentile, rank counts — exactly, matching the
+// sorted-slice functions above bit for bit, while storing one counter
+// per distinct value instead of one element per observation. That is
+// what lets a streaming sweep over millions of trees keep exact
+// aggregates in O(value range) memory.
+type Counter struct {
+	counts []int64
+	total  int64
+	max    int64
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter { return &Counter{} }
+
+// Add records a non-negative value.
+func (c *Counter) Add(v int64) {
+	if v < 0 {
+		panic(fmt.Sprintf("stats: negative counter value %d", v))
+	}
+	for int64(len(c.counts)) <= v {
+		c.counts = append(c.counts, 0)
+	}
+	c.counts[v]++
+	c.total++
+	if v > c.max {
+		c.max = v
+	}
+}
+
+// Total returns the number of values added.
+func (c *Counter) Total() int64 { return c.total }
+
+// Max returns the largest value added; it panics when empty, like Max.
+func (c *Counter) Max() int64 {
+	if c.total == 0 {
+		panic("stats: max of empty counter")
+	}
+	return c.max
+}
+
+// CountAtMost returns how many added values are <= x.
+func (c *Counter) CountAtMost(x int64) int64 {
+	if x < 0 {
+		return 0
+	}
+	if x >= c.max {
+		return c.total
+	}
+	var n int64
+	for v := int64(0); v <= x; v++ {
+		n += c.counts[v]
+	}
+	return n
+}
+
+// Kth returns the k'th smallest added value, 0-based — the value that
+// would sit at index k of the sorted slice of observations.
+func (c *Counter) Kth(k int64) int64 {
+	if k < 0 || k >= c.total {
+		panic(fmt.Sprintf("stats: rank %d out of range 0..%d", k, c.total-1))
+	}
+	var seen int64
+	for v, n := range c.counts {
+		seen += n
+		if seen > k {
+			return int64(v)
+		}
+	}
+	panic("stats: counter books unbalanced")
+}
+
+// Median returns the median: the middle value for odd totals, the mean
+// of the two middle values (rounded down) for even totals — the same
+// result as Median over the equivalent slice. It panics when empty.
+func (c *Counter) Median() int64 {
+	if c.total == 0 {
+		panic("stats: median of empty counter")
+	}
+	mid := c.total / 2
+	if c.total%2 == 1 {
+		return c.Kth(mid)
+	}
+	return (c.Kth(mid-1) + c.Kth(mid)) / 2
+}
+
+// Percentile returns the p'th percentile (0..100) by nearest-rank, the
+// same result as Percentile over the equivalent slice. It panics when
+// empty or when p is out of range.
+func (c *Counter) Percentile(p float64) int64 {
+	if c.total == 0 {
+		panic("stats: percentile of empty counter")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	if p == 0 {
+		return c.Kth(0)
+	}
+	rank := int64(p/100*float64(c.total)+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= c.total {
+		rank = c.total - 1
+	}
+	return c.Kth(rank)
+}

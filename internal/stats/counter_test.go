@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestCounterMatchesSliceStats: on random multisets, every Counter order
+// statistic equals the sorted-slice computation exactly.
+func TestCounterMatchesSliceStats(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(400)
+		vs := make([]int64, n)
+		c := NewCounter()
+		for i := range vs {
+			vs[i] = int64(rng.IntN(60))
+			c.Add(vs[i])
+		}
+		if c.Total() != int64(n) {
+			t.Fatalf("trial %d: total %d, want %d", trial, c.Total(), n)
+		}
+		if got, want := c.Median(), Median(vs); got != want {
+			t.Fatalf("trial %d: median %d, want %d", trial, got, want)
+		}
+		if got, want := c.Max(), Max(vs); got != want {
+			t.Fatalf("trial %d: max %d, want %d", trial, got, want)
+		}
+		for _, p := range []float64{0, 10, 25, 50, 75, 90, 95, 99, 100} {
+			if got, want := c.Percentile(p), Percentile(vs, p); got != want {
+				t.Fatalf("trial %d: p%v = %d, want %d", trial, p, got, want)
+			}
+		}
+		for _, x := range []int64{-1, 0, 1, 5, 30, 59, 60, 1000} {
+			var want int64
+			for _, v := range vs {
+				if v <= x {
+					want++
+				}
+			}
+			if got := c.CountAtMost(x); got != want {
+				t.Fatalf("trial %d: CountAtMost(%d) = %d, want %d", trial, x, got, want)
+			}
+		}
+	}
+}
+
+// TestCounterEmptyPanics: the empty-counter contracts match the slice
+// functions' panics.
+func TestCounterEmptyPanics(t *testing.T) {
+	for name, fn := range map[string]func(*Counter){
+		"median":     func(c *Counter) { c.Median() },
+		"max":        func(c *Counter) { c.Max() },
+		"percentile": func(c *Counter) { c.Percentile(50) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s of empty counter did not panic", name)
+				}
+			}()
+			fn(NewCounter())
+		}()
+	}
+	if got := NewCounter().CountAtMost(5); got != 0 {
+		t.Fatalf("empty CountAtMost = %d, want 0", got)
+	}
+}

@@ -23,6 +23,7 @@ package window
 import (
 	"fmt"
 	"math/big"
+	"math/bits"
 
 	"bwcs/internal/rational"
 	"bwcs/internal/sim"
@@ -32,11 +33,27 @@ import (
 // detector starts counting above-optimal points.
 const DefaultThreshold = 300
 
-// Series is the windowed-rate view of one run.
+// Series is the windowed-rate view of one run. A Series caches scratch
+// state for its comparisons, so it is not safe for concurrent use; build
+// one Series per goroutine.
 type Series struct {
 	completions []sim.Time
 	optNum      *big.Int // numerator of the optimal weight W
 	optDen      *big.Int // denominator of W
+	optRate     float64  // 1/W as a float, computed once
+
+	// Fast path: when W's numerator and denominator both fit in an
+	// int64, the exact comparison x·Wnum vs Δt·Wden is done with a
+	// 128-bit product (bits.Mul64) — the full product of two uint64s
+	// always fits in 128 bits, so the fast path never loses exactness
+	// and never allocates. The big.Int scratch below is touched only
+	// when W itself overflows int64 (platforms far beyond the paper's).
+	num64, den64 uint64
+	fits64       bool
+	xScratch     big.Int
+	dtScratch    big.Int
+	lhsScratch   big.Int
+	rhsScratch   big.Int
 }
 
 // New returns a Series over the completion times of a run (ascending, as
@@ -51,11 +68,46 @@ func New(completions []sim.Time, optWeight rational.Rat) (*Series, error) {
 			return nil, fmt.Errorf("window: completions not ascending at %d", i)
 		}
 	}
-	return &Series{
+	s := &Series{
 		completions: completions,
 		optNum:      optWeight.Num(),
 		optDen:      optWeight.Den(),
-	}, nil
+	}
+	s.optRate, _ = new(big.Rat).SetFrac(s.optDen, s.optNum).Float64() // 1/W
+	if s.optNum.IsInt64() && s.optDen.IsInt64() {
+		// Sign() > 0 and big.Rat normalization guarantee both parts
+		// are positive, so the uint64 conversions are exact.
+		s.num64 = uint64(s.optNum.Int64())
+		s.den64 = uint64(s.optDen.Int64())
+		s.fits64 = true
+	}
+	return s, nil
+}
+
+// cmpOptimal compares the windowed rate x/dt against the optimal rate
+// 1/W exactly: it returns the sign of x·Wnum − dt·Wden. Both x and dt
+// are positive by construction.
+func (s *Series) cmpOptimal(x int, dt sim.Time) int {
+	if s.fits64 {
+		lhsHi, lhsLo := bits.Mul64(uint64(x), s.num64)
+		rhsHi, rhsLo := bits.Mul64(uint64(dt), s.den64)
+		if lhsHi != rhsHi {
+			if lhsHi > rhsHi {
+				return 1
+			}
+			return -1
+		}
+		if lhsLo != rhsLo {
+			if lhsLo > rhsLo {
+				return 1
+			}
+			return -1
+		}
+		return 0
+	}
+	lhs := s.lhsScratch.Mul(s.xScratch.SetInt64(int64(x)), s.optNum)
+	rhs := s.rhsScratch.Mul(s.dtScratch.SetInt64(int64(dt)), s.optDen)
+	return lhs.Cmp(rhs)
 }
 
 // Windows returns the number of valid window indices: window x needs task
@@ -86,8 +138,7 @@ func (s *Series) Rate(x int) float64 {
 // the paper's Figure 3. Values hover around 1 when the tree runs at the
 // optimal steady-state rate.
 func (s *Series) Normalized(x int) float64 {
-	opt, _ := new(big.Rat).SetFrac(s.optDen, s.optNum).Float64() // 1/W
-	return s.Rate(x) / opt
+	return s.Rate(x) / s.optRate
 }
 
 // AboveOptimal reports whether the windowed rate at x strictly exceeds the
@@ -100,9 +151,7 @@ func (s *Series) AboveOptimal(x int) bool {
 	if dt == 0 {
 		return true
 	}
-	lhs := new(big.Int).Mul(big.NewInt(int64(x)), s.optNum)
-	rhs := new(big.Int).Mul(big.NewInt(int64(dt)), s.optDen)
-	return lhs.Cmp(rhs) > 0
+	return s.cmpOptimal(x, dt) > 0
 }
 
 // AtOrAboveOptimal reports whether the windowed rate at x is at least the
@@ -115,9 +164,7 @@ func (s *Series) AtOrAboveOptimal(x int) bool {
 	if dt == 0 {
 		return true
 	}
-	lhs := new(big.Int).Mul(big.NewInt(int64(x)), s.optNum)
-	rhs := new(big.Int).Mul(big.NewInt(int64(dt)), s.optDen)
-	return lhs.Cmp(rhs) >= 0
+	return s.cmpOptimal(x, dt) >= 0
 }
 
 // Onset runs the paper's detector: scanning windows strictly after the
