@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+
+	"bwcs/internal/lint/analysis"
+)
+
+// ApplyFixes collects the first suggested fix of every diagnostic that
+// carries one and applies the edits, returning the rewritten content of
+// each touched file (keyed by filename). Nothing is written to disk —
+// the caller decides whether to overwrite (`bwvet -fix`) or render a
+// diff (`bwvet -fix -diff`). Overlapping edits within a file are an
+// error: fixes are meant to be independent, and silently dropping one
+// would leave the file half-repaired.
+func ApplyFixes(fset *token.FileSet, diags []analysis.Diagnostic) (map[string][]byte, error) {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := make(map[string][]edit)
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		for _, te := range d.SuggestedFixes[0].TextEdits {
+			f := fset.File(te.Pos)
+			if f == nil {
+				return nil, fmt.Errorf("fix: edit position outside any known file")
+			}
+			end := te.End
+			if !end.IsValid() {
+				end = te.Pos
+			}
+			perFile[f.Name()] = append(perFile[f.Name()], edit{
+				start: f.Offset(te.Pos),
+				end:   f.Offset(end),
+				text:  te.NewText,
+			})
+		}
+	}
+
+	out := make(map[string][]byte, len(perFile))
+	for name, edits := range perFile {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("fix: %w", err)
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].start < edits[i-1].end {
+				return nil, fmt.Errorf("fix: overlapping edits in %s (offsets %d and %d)", name, edits[i-1].start, edits[i].start)
+			}
+		}
+		// Apply back-to-front so earlier offsets stay valid.
+		for i := len(edits) - 1; i >= 0; i-- {
+			e := edits[i]
+			if e.start < 0 || e.end > len(data) || e.start > e.end {
+				return nil, fmt.Errorf("fix: edit out of range in %s", name)
+			}
+			data = append(data[:e.start], append(append([]byte(nil), e.text...), data[e.end:]...)...)
+		}
+		out[name] = data
+	}
+	return out, nil
+}
+
+// Diff renders a minimal unified-style diff between the on-disk content
+// of each fixed file and its rewritten form, for `bwvet -fix -diff`.
+// Returns the empty string when nothing would change.
+func Diff(fixed map[string][]byte) (string, error) {
+	names := make([]string, 0, len(fixed))
+	for name := range fixed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		orig, err := os.ReadFile(name)
+		if err != nil {
+			return "", fmt.Errorf("diff: %w", err)
+		}
+		if string(orig) == string(fixed[name]) {
+			continue
+		}
+		fmt.Fprintf(&b, "--- %s\n+++ %s (fixed)\n", name, name)
+		writeHunks(&b, strings.Split(string(orig), "\n"), strings.Split(string(fixed[name]), "\n"))
+	}
+	return b.String(), nil
+}
+
+// writeHunks emits one hunk covering the changed region: the lines
+// before the first difference and after the last are elided. bwvet
+// fixes are local, so a single hunk per file reads fine.
+func writeHunks(b *strings.Builder, oldLines, newLines []string) {
+	pre := 0
+	for pre < len(oldLines) && pre < len(newLines) && oldLines[pre] == newLines[pre] {
+		pre++
+	}
+	post := 0
+	for post < len(oldLines)-pre && post < len(newLines)-pre &&
+		oldLines[len(oldLines)-1-post] == newLines[len(newLines)-1-post] {
+		post++
+	}
+	fmt.Fprintf(b, "@@ -%d,%d +%d,%d @@\n", pre+1, len(oldLines)-pre-post, pre+1, len(newLines)-pre-post)
+	for _, l := range oldLines[pre : len(oldLines)-post] {
+		fmt.Fprintf(b, "-%s\n", l)
+	}
+	for _, l := range newLines[pre : len(newLines)-post] {
+		fmt.Fprintf(b, "+%s\n", l)
+	}
+}

@@ -1,7 +1,8 @@
 // Package lint is bwvet's analyzer suite: custom static checks for the
 // repo invariants the compiler cannot see — simulation determinism, wire
 // protocol exhaustiveness, lock discipline, atomic/plain access mixing,
-// and context plumbing. cmd/bwvet drives the suite over the module; each
+// context plumbing, hot-path allocation discipline, goroutine lifecycle,
+// and error discipline. cmd/bwvet drives the suite over the module; each
 // analyzer has golden-fixture coverage under testdata/src.
 //
 // False positives are suppressed with a documented escape hatch:
@@ -9,7 +10,9 @@
 //	//lint:bwvet-ignore <reason>
 //
 // on (or immediately above) the flagged line. An ignore comment without a
-// reason is itself a finding — suppressions must say why.
+// reason is itself a finding — suppressions must say why — and so is an
+// ignore that no longer suppresses anything (stale ignores accrete into
+// blind spots; `bwvet -ignores` audits them).
 package lint
 
 import (
@@ -26,13 +29,29 @@ var Analyzers = []*analysis.Analyzer{
 	LockDiscipline,
 	AtomicMix,
 	CtxFlow,
+	HotPathAlloc,
+	GoroLeak,
+	ErrDiscipline,
 }
 
 // Check runs the given analyzers over one package, honoring each
 // analyzer's Match scope, and returns the diagnostics that survive
-// //lint:bwvet-ignore filtering (plus findings about malformed ignore
-// comments), sorted by position.
+// //lint:bwvet-ignore filtering (plus findings about malformed or stale
+// ignore comments), sorted by position.
 func Check(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	diags, _, err := check(pkg, analyzers)
+	return diags, err
+}
+
+// Ignores runs the given analyzers over one package and returns every
+// //lint:bwvet-ignore directive it holds, each marked with whether it
+// actually suppressed a finding. `bwvet -ignores` renders this audit.
+func Ignores(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]*IgnoreDirective, error) {
+	_, directives, err := check(pkg, analyzers)
+	return directives, err
+}
+
+func check(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, []*IgnoreDirective, error) {
 	var diags []analysis.Diagnostic
 	for _, a := range analyzers {
 		if a.Match != nil && !a.Match(pkg.Path) {
@@ -44,6 +63,7 @@ func Check(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]analysis.Diag
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Facts:     &pkg.Facts,
 		}
 		name := a.Name
 		pass.Report = func(d analysis.Diagnostic) {
@@ -51,10 +71,11 @@ func Check(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]analysis.Diag
 			diags = append(diags, d)
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	diags = applyIgnores(pkg, diags)
+	directives := collectIgnores(pkg)
+	diags = applyIgnores(pkg, diags, directives)
 	fset := pkg.Fset
 	sort.SliceStable(diags, func(i, j int) bool {
 		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
@@ -66,5 +87,5 @@ func Check(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]analysis.Diag
 		}
 		return pi.Column < pj.Column
 	})
-	return diags, nil
+	return diags, directives, nil
 }

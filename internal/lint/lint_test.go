@@ -27,11 +27,40 @@ func TestCtxFlow(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.CtxFlow, "ctxflow")
 }
 
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.HotPathAlloc, "hotpathalloc")
+}
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.GoroLeak, "goroleak")
+}
+
+func TestErrDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.ErrDiscipline, "errdiscipline")
+}
+
+// TestErrDisciplineFixes round-trips the %w suggested fix through the
+// golden file: `bwvet -fix` must produce exactly a.go.golden.
+func TestErrDisciplineFixes(t *testing.T) {
+	analysistest.RunFixes(t, "testdata", lint.ErrDiscipline, "errdiscipline")
+}
+
 // TestIgnoreDirectives pins the //lint:bwvet-ignore contract: a reasoned
 // ignore on the flagged line or the line above suppresses, a reasonless
 // one is reported and suppresses nothing.
 func TestIgnoreDirectives(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.LockDiscipline, "ignore")
+}
+
+// TestStaleIgnores pins stale-ignore detection: a reasoned ignore that
+// suppresses nothing becomes a finding, and its suggested fix deletes
+// the comment (whole line when it stands alone).
+func TestStaleIgnores(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.LockDiscipline, "staleignore")
+}
+
+func TestStaleIgnoreFixes(t *testing.T) {
+	analysistest.RunFixes(t, "testdata", lint.LockDiscipline, "staleignore")
 }
 
 // TestMatchScopes pins which packages each scoped analyzer patrols, so a
@@ -58,6 +87,16 @@ func TestMatchScopes(t *testing.T) {
 			[]string{"bwcs", "bwcs/live"},
 			[]string{"bwcs/internal/engine"},
 		},
+		{
+			"goroleak", lint.GoroLeak.Match,
+			[]string{"bwcs/live", "bwcs/cmd/bwnode", "bwcs/cmd/bwload"},
+			[]string{"bwcs", "bwcs/internal/engine"},
+		},
+		{
+			"errdiscipline", lint.ErrDiscipline.Match,
+			[]string{"bwcs/live", "bwcs/cmd/bwnode", "bwcs/cmd/bwvet"},
+			[]string{"bwcs", "bwcs/internal/sim"},
+		},
 	}
 	for _, c := range cases {
 		for _, p := range c.in {
@@ -73,5 +112,8 @@ func TestMatchScopes(t *testing.T) {
 	}
 	if lint.LockDiscipline.Match != nil || lint.AtomicMix.Match != nil {
 		t.Error("lockdiscipline and atomicmix are repo-wide: Match must be nil")
+	}
+	if lint.HotPathAlloc.Match != nil {
+		t.Error("hotpathalloc is repo-wide (annotation-driven): Match must be nil")
 	}
 }

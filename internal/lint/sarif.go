@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"sort"
+
+	"bwcs/internal/lint/analysis"
+)
+
+// SARIF 2.1.0 rendering, minimal but schema-conformant: one run, one
+// driver ("bwvet"), one rule per analyzer that fired, one result per
+// diagnostic. GitHub code scanning ingests this via upload-sarif and
+// surfaces findings as inline PR annotations.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIF renders diagnostics as a SARIF 2.1.0 log. File URIs are made
+// relative to root (the module root) so code-scanning annotations line
+// up with repository paths regardless of the checkout directory.
+func SARIF(fset *token.FileSet, root string, diags []analysis.Diagnostic) ([]byte, error) {
+	ruleSet := make(map[string]bool)
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		uri := pos.Filename
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+			uri = filepath.ToSlash(rel)
+		}
+		ruleSet[d.Analyzer] = true
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: uri},
+					Region:           sarifRegion{StartLine: pos.Line, StartColumn: pos.Column},
+				},
+			}},
+		})
+	}
+
+	docs := make(map[string]string, len(Analyzers))
+	for _, a := range Analyzers {
+		docs[a.Name] = firstSentence(a.Doc)
+	}
+	ruleIDs := make([]string, 0, len(ruleSet))
+	for id := range ruleSet {
+		ruleIDs = append(ruleIDs, id)
+	}
+	sort.Strings(ruleIDs)
+	rules := make([]sarifRule, 0, len(ruleIDs))
+	for _, id := range ruleIDs {
+		doc := docs[id]
+		if doc == "" {
+			doc = id // e.g. the synthetic "bwvet-ignore" rule
+		}
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+	}
+
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "bwvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(&log, "", "  ")
+}
+
+// firstSentence trims an analyzer Doc to its first sentence for the
+// rule's short description.
+func firstSentence(doc string) string {
+	for i := 0; i < len(doc); i++ {
+		if doc[i] == '.' || doc[i] == '\n' {
+			return doc[:i]
+		}
+	}
+	return doc
+}

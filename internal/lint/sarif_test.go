@@ -1,0 +1,110 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"bwcs/internal/lint"
+	"bwcs/internal/lint/analysis"
+)
+
+// TestSARIF pins the shape GitHub code scanning ingests: schema/version
+// headers, the bwvet driver with one sorted rule per analyzer that
+// fired, and per-result module-relative URIs with 1-based line/column.
+func TestSARIF(t *testing.T) {
+	fset := token.NewFileSet()
+	f := fset.AddFile("/mod/live/wire.go", -1, 1000)
+	f.SetLinesForContent([]byte(strings.Repeat("xxxxxxxxx\n", 100)))
+	pos := func(line, col int) token.Pos { return f.LineStart(line) + token.Pos(col-1) }
+
+	diags := []analysis.Diagnostic{
+		{Pos: pos(12, 3), Analyzer: "lockdiscipline", Message: "channel send under mutex"},
+		{Pos: pos(40, 2), Analyzer: "bwvet-ignore", Message: "stale bwvet-ignore: this suppresses no finding anymore"},
+	}
+	data, err := lint.SARIF(fset, "/mod", diags)
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("emitted SARIF does not parse: %v\n%s", err, data)
+	}
+
+	if !strings.Contains(log.Schema, "sarif-schema-2.1.0") || log.Version != "2.1.0" {
+		t.Errorf("schema/version = %q / %q, want SARIF 2.1.0", log.Schema, log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "bwvet" {
+		t.Errorf("driver = %q, want bwvet", run.Tool.Driver.Name)
+	}
+
+	// One rule per distinct analyzer, sorted; real analyzers carry their
+	// doc sentence, the synthetic bwvet-ignore rule falls back to its id.
+	if len(run.Tool.Driver.Rules) != 2 {
+		t.Fatalf("rules = %+v, want 2", run.Tool.Driver.Rules)
+	}
+	if run.Tool.Driver.Rules[0].ID != "bwvet-ignore" || run.Tool.Driver.Rules[1].ID != "lockdiscipline" {
+		t.Errorf("rule ids not sorted: %+v", run.Tool.Driver.Rules)
+	}
+	if run.Tool.Driver.Rules[0].ShortDescription.Text != "bwvet-ignore" {
+		t.Errorf("synthetic rule description = %q, want the id itself", run.Tool.Driver.Rules[0].ShortDescription.Text)
+	}
+	if d := run.Tool.Driver.Rules[1].ShortDescription.Text; d == "" || strings.Contains(d, "\n") {
+		t.Errorf("lockdiscipline description = %q, want its first doc sentence", d)
+	}
+
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "lockdiscipline" || r.Level != "error" || r.Message.Text != "channel send under mutex" {
+		t.Errorf("result[0] = %+v", r)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "live/wire.go" {
+		t.Errorf("uri = %q, want module-relative live/wire.go", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 12 || loc.Region.StartColumn != 3 {
+		t.Errorf("region = %+v, want 12:3", loc.Region)
+	}
+}

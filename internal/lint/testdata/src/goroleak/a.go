@@ -1,0 +1,82 @@
+// Fixture for the goroleak analyzer: every go statement must show a
+// shutdown path — WaitGroup Add/Done pairing (same-function or
+// cross-method via the package fact store), a done/ctx wait in the
+// body, or a range over a channel.
+package goroleak
+
+import "sync"
+
+type node struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+func (n *node) worker() {
+	defer n.wg.Done()
+}
+
+func (n *node) watcher() {
+	for {
+		select {
+		case <-n.done:
+			return
+		}
+	}
+}
+
+func (n *node) idle() {}
+
+func (n *node) spawnTracked() {
+	n.wg.Add(1)
+	go n.worker() // cross-method pairing: worker's Done is a package fact
+}
+
+func (n *node) spawnWatcher() {
+	go n.watcher() // lifecycle wait in the body: allowed
+}
+
+func (n *node) spawnUntracked() {
+	go n.worker() // want "goroutine node.worker retires a WaitGroup \\(wg\\) but no matching Add is visible before the spawn in spawnUntracked"
+}
+
+func (n *node) spawnLeaky() {
+	go n.idle() // want "goroutine node.idle has no visible shutdown path"
+}
+
+func inlinePaired(n *node) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+	}()
+}
+
+func inlineUnpaired(n *node) {
+	go func() { // want "goroutine calls n.wg.Done but no n.wg.Add is visible before the spawn in inlineUnpaired"
+		defer n.wg.Done()
+	}()
+}
+
+func inlineDoneWait(n *node) {
+	go func() {
+		<-n.done
+	}()
+}
+
+func inlineRange(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+func inlineLeaky() {
+	go func() { // want "goroutine has no visible shutdown path"
+		println("working")
+	}()
+}
+
+func freeHelper() {}
+
+func spawnFreeFunc() {
+	go freeHelper() // want "goroutine freeHelper has no visible shutdown path"
+}

@@ -1,0 +1,69 @@
+// Fixture for the hotpathalloc analyzer: annotated functions must not
+// contain heap-allocating constructs, with init-gate and cold-path
+// allowances. Unannotated functions are never checked.
+package hotpathalloc
+
+import "fmt"
+
+type point struct{ x, y int }
+
+type state struct {
+	buf []byte
+	m   map[string]int
+}
+
+func sink(v any) {}
+
+//bwvet:hotpath
+func allocEverything(name string) string {
+	b := make([]byte, 8)           // want "make allocates on every call"
+	p := new(int)                  // want "new allocates on every call"
+	m := map[string]int{}          // want "map literal allocates"
+	sl := []int{1, 2}              // want "slice literal allocates"
+	pt := &point{1, 2}             // want "&composite literal escapes to the heap"
+	s := fmt.Sprintf("%d", len(b)) // want "fmt.Sprintf allocates"
+	_, _, _, _, _ = p, m, sl, pt, s
+	return "x-" + name // want "string concatenation allocates"
+}
+
+//bwvet:hotpath
+func closureAndBoxing(n int) {
+	f := func() int { return n } // want "closure captures n"
+	_ = f
+	pt := point{1, 2} // value literal: no heap allocation
+	sink(pt)          // want "passing non-pointer hotpathalloc.point to an interface parameter"
+	sink(&pt)         // pointer: stored directly in the interface word
+}
+
+//bwvet:hotpath
+func freshAppend() int {
+	var out []int
+	out = append(out, 1) // want "append grows fresh slice out without preallocation"
+	return len(out)
+}
+
+//bwvet:hotpath
+func (s *state) gatedAndReused(v byte) {
+	if cap(s.buf) < 16 {
+		s.buf = make([]byte, 0, 16) // growth gate: amortized, allowed
+	}
+	if s.m == nil {
+		s.m = make(map[string]int) // lazy-init gate: allowed
+	}
+	s.buf = append(s.buf, v) // field-backed append: allowed
+}
+
+//bwvet:hotpath
+func coldPaths(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad n %d", n) // cold error path: allowed
+	}
+	if n > 100 {
+		panic(fmt.Sprintf("huge %d", n)) // panic argument: allowed
+	}
+	return nil
+}
+
+func notAnnotated() []int {
+	return []int{1, 2, 3} // unannotated: allocation is fine
+}

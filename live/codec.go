@@ -102,6 +102,14 @@ var (
 	errFrameTruncated = errors.New("live: truncated binary frame")
 )
 
+// prefixMax is the widest length prefix a frame can need:
+// uvarint(maxFrameBytes) fits in 5 bytes. framePad is the static
+// zero-filled gap appendFrame reserves for it, so the reservation is a
+// copy rather than a per-frame make().
+const prefixMax = 5
+
+var framePad [prefixMax]byte
+
 // appendFrame appends m's length-prefixed binary encoding to buf and
 // returns the extended slice. The layout is
 //
@@ -112,6 +120,8 @@ var (
 // per-kind fields are fixed by the switch below — which deliberately has
 // no default, so bwvet's wireexhaustive analyzer fails the build when a
 // new wire kind lands without a binary marshal case.
+//
+//bwvet:hotpath
 func appendFrame(buf []byte, m *message) ([]byte, error) {
 	if m.N < 0 || m.Size < 0 || m.Offset < 0 {
 		return buf, fmt.Errorf("live: negative field on %d frame", m.Kind)
@@ -119,9 +129,9 @@ func appendFrame(buf []byte, m *message) ([]byte, error) {
 	start := len(buf)
 	// Reserve the widest possible prefix; once the body length is known
 	// the real prefix is written and the body slid back over the gap, so
-	// batched frames stay contiguous.
-	const prefixMax = 5 // uvarint(maxFrameBytes) fits in 5 bytes
-	buf = append(buf, make([]byte, prefixMax)...)
+	// batched frames stay contiguous. The gap is copied from a static pad
+	// rather than a make() so the reservation never allocates.
+	buf = append(buf, framePad[:]...)
 	body := len(buf)
 
 	buf = append(buf, byte(m.Kind))
@@ -185,16 +195,19 @@ func appendFrame(buf []byte, m *message) ([]byte, error) {
 	return buf, nil
 }
 
+//bwvet:hotpath
 func appendStringField(buf []byte, s string) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(s)))
 	return append(buf, s...)
 }
 
+//bwvet:hotpath
 func appendBytesField(buf []byte, b []byte) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(b)))
 	return append(buf, b...)
 }
 
+//bwvet:hotpath
 func appendBool(buf []byte, v bool) []byte {
 	if v {
 		return append(buf, 1)
@@ -202,6 +215,7 @@ func appendBool(buf []byte, v bool) []byte {
 	return append(buf, 0)
 }
 
+//bwvet:hotpath
 func appendU64Field(buf []byte, vs []uint64) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(vs)))
 	for _, v := range vs {
@@ -215,6 +229,8 @@ func appendU64Field(buf []byte, vs []uint64) []byte {
 // slices so memory grows only with bytes actually received — a hostile
 // length prefix cannot make the reader allocate the declared size up
 // front.
+//
+//bwvet:hotpath
 func readFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -267,6 +283,7 @@ type interner struct {
 
 const maxInternEntries = 4096
 
+//bwvet:hotpath
 func (in *interner) intern(b []byte) string {
 	if len(b) == 0 {
 		return ""
@@ -290,6 +307,7 @@ type frameReader struct {
 	off int
 }
 
+//bwvet:hotpath
 func (r *frameReader) uvarint() (uint64, error) {
 	v, n := binary.Uvarint(r.b[r.off:])
 	if n <= 0 {
@@ -300,6 +318,8 @@ func (r *frameReader) uvarint() (uint64, error) {
 }
 
 // intField decodes a non-negative integer bounded by maxFieldValue.
+//
+//bwvet:hotpath
 func (r *frameReader) intField() (int, error) {
 	v, err := r.uvarint()
 	if err != nil {
@@ -313,6 +333,8 @@ func (r *frameReader) intField() (int, error) {
 
 // raw returns the next length-prefixed byte field as a subslice of the
 // frame body (valid only until the read buffer is reused).
+//
+//bwvet:hotpath
 func (r *frameReader) raw() ([]byte, error) {
 	n, err := r.uvarint()
 	if err != nil {
@@ -326,6 +348,7 @@ func (r *frameReader) raw() ([]byte, error) {
 	return b, nil
 }
 
+//bwvet:hotpath
 func (r *frameReader) boolField() (bool, error) {
 	if r.off >= len(r.b) {
 		return false, errFrameTruncated
@@ -372,6 +395,8 @@ func (r *frameReader) u64s() ([]uint64, error) {
 // and result channels. Strings pass through the conn's interner. Decode
 // is strict: unknown kinds, malformed fields, and trailing bytes are all
 // errors, never panics.
+//
+//bwvet:hotpath
 func decodeFrame(data []byte, m *message, in *interner) error {
 	*m = message{}
 	r := frameReader{b: data}
@@ -410,6 +435,7 @@ func decodeFrame(data []byte, m *message, in *interner) error {
 			return errFrameTruncated
 		}
 		if count > 0 {
+			//lint:bwvet-ignore hello frames arrive once per connection, not in steady state; the resume list is per-reconnect
 			m.Resume = make([]ResumePoint, count)
 			for i := range m.Resume {
 				if m.Resume[i].Task, err = r.uvarint(); err != nil {

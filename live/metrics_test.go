@@ -77,6 +77,7 @@ func TestMetricsEndpointMatchesStats(t *testing.T) {
 		"live_tasks_requeued_total":           st.Requeued,
 		"live_transfers_resumed_total":        st.Resumed,
 		"live_heartbeat_misses_total":         st.HeartbeatMisses,
+		"live_send_errors_total":              st.SendErrors,
 		"live_result_acks_total":              st.ResultAcks,
 		"live_results_replayed_total":         st.ResultsReplayed,
 		"live_results_deduped_total":          st.ResultsDeduped,

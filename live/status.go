@@ -226,6 +226,7 @@ func metricsSnapshot(st Stats, buffered, connected, children int64, uptime time.
 		counter("live_tasks_requeued_total", "tasks reclaimed from dead subtrees and requeued", st.Requeued),
 		counter("live_transfers_resumed_total", "transfers resumed mid-payload after a child reconnected", st.Resumed),
 		counter("live_heartbeat_misses_total", "supervision intervals that passed with a silent link", st.HeartbeatMisses),
+		counter("live_send_errors_total", "ack sends that failed on a dying link (replay covers them)", st.SendErrors),
 		counter("live_result_acks_total", "unacked-ledger entries retired by a parent's result ack", st.ResultAcks),
 		counter("live_results_replayed_total", "unacked results retransmitted (reconnect replay or retry)", st.ResultsReplayed),
 		counter("live_results_deduped_total", "duplicate results suppressed before relay or collection", st.ResultsDeduped),

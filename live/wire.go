@@ -303,7 +303,6 @@ func (c *conn) writeLocked(m *message, codec Codec) error {
 			return err
 		}
 		c.wbuf = buf
-		//lint:bwvet-ignore wmu is a dedicated write lock; the write is bounded by SetWriteDeadline
 		if _, err := c.w.Write(buf); err != nil {
 			return err
 		}
@@ -314,7 +313,6 @@ func (c *conn) writeLocked(m *message, codec Codec) error {
 	// typically a stack-allocated literal — does not escape through the
 	// encoder's interface argument.
 	c.scratch = *m
-	//lint:bwvet-ignore wmu is a dedicated write lock; the encode is bounded by SetWriteDeadline
 	if err := c.enc.Encode(&c.scratch); err != nil {
 		return err
 	}
@@ -377,7 +375,6 @@ func (c *conn) sendBatch(ms []*message) (int, error) {
 		}
 		c.wbuf = buf
 		if werr == nil {
-			//lint:bwvet-ignore wmu is a dedicated write lock; the write is bounded by SetWriteDeadline
 			if _, werr = c.w.Write(buf); werr == nil {
 				c.ctr.framesSent.Add(int64(len(keep)))
 			}
