@@ -68,6 +68,7 @@ import (
 	"bwcs/internal/randtree"
 	"bwcs/internal/rational"
 	"bwcs/internal/sim"
+	"bwcs/internal/stats"
 	"bwcs/internal/steady"
 	"bwcs/internal/tree"
 	"bwcs/internal/window"
@@ -168,6 +169,13 @@ type AttachMutation = engine.AttachMutation
 // semantics).
 type DepartMutation = engine.DepartMutation
 
+// SimTimeline is the sampled telemetry of one run — completion rate,
+// per-link utilization, root-pool depth and per-application share over
+// simulated time; see WithTimeline. Series are bounded: on overflow a
+// series halves itself and doubles its resolution, so any run length
+// fits in O(capacity) points.
+type SimTimeline = engine.Timeline
+
 // Simulate executes an independent-task application on a platform tree
 // under an autonomous protocol, deterministically. It is equivalent to
 // SimulateContext with context.Background().
@@ -237,6 +245,63 @@ type Summary struct {
 	// comparison against the optimal rate.
 	Steady SteadyState
 	Class  SteadyClass
+	// Timeline is the run's sampled telemetry when WithTimeline was set;
+	// nil otherwise.
+	Timeline *SimTimeline
+	// Converged and ConvergedAt report the convergence detector's verdict
+	// over the timeline's rate series: the earliest simulated time from
+	// which the completion rate stayed within ConvergeEps of its trailing
+	// steady value for at least ConvergeWindow consecutive samples. Only
+	// meaningful when Timeline is non-nil.
+	Converged   bool
+	ConvergedAt Time
+}
+
+// Convergence detector defaults applied by Evaluate and
+// EvaluateWorkloads to the timeline's rate series. The 5% band absorbs
+// the quantization wiggle of integer completion counts per interval;
+// eight samples make one spurious in-band point insufficient.
+const (
+	ConvergeEps    = 0.05
+	ConvergeWindow = 8
+)
+
+// convergence runs the detector over a timeline's rate series,
+// returning (0, false) when the timeline is nil or too short. Samples
+// from the moment the root pool empties are excluded: the rate ramping
+// down as the last buffered tasks drain is depletion, not instability,
+// and would otherwise drag the trailing steady value toward zero.
+func convergence(tl *SimTimeline) (Time, bool) {
+	if tl == nil {
+		return 0, false
+	}
+	rate := tl.Find("rate")
+	if rate == nil {
+		return 0, false
+	}
+	drainT := int64(1<<63 - 1)
+	if pool := tl.Find("pool_depth"); pool != nil {
+		for _, p := range pool.Points {
+			// Depth readings are integer counts, but ring merges can
+			// average a final 0 with its predecessor — anything below 1
+			// means a pool-empty reading contributed. The interval ending
+			// here straddles exhaustion; cut strictly before it.
+			if p.V < 1 {
+				drainT = p.T
+				break
+			}
+		}
+	}
+	times := make([]int64, 0, len(rate.Points))
+	values := make([]float64, 0, len(rate.Points))
+	for _, p := range rate.Points {
+		if p.T < drainT {
+			times = append(times, p.T)
+			values = append(values, p.V)
+		}
+	}
+	at, ok := stats.Converge(times, values, ConvergeEps, ConvergeWindow)
+	return Time(at), ok
 }
 
 // Evaluate runs protocol p on tree t for the given number of tasks and
@@ -294,5 +359,7 @@ func summarize(res *SimResult, opt *Allocation, threshold int) (*Summary, error)
 	s.Onset, s.Reached = series.OnsetInclusive(threshold)
 	s.Steady = steady.Detect(res.Completions, steady.Options{})
 	s.Class = s.Steady.Classify(opt.TreeWeight)
+	s.Timeline = res.Timeline
+	s.ConvergedAt, s.Converged = convergence(res.Timeline)
 	return s, nil
 }

@@ -113,6 +113,35 @@ func TestRateSeriesThroughFacade(t *testing.T) {
 	}
 }
 
+func TestTimelineThroughFacade(t *testing.T) {
+	sum, err := Evaluate(ExampleTree(), IC(3), 2000, WithTimeline(64))
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if sum.Timeline == nil {
+		t.Fatalf("WithTimeline set but Summary.Timeline nil")
+	}
+	rate := sum.Timeline.Find("rate")
+	if rate == nil || len(rate.Points) == 0 {
+		t.Fatalf("timeline missing the rate series: %+v", sum.Timeline)
+	}
+	if !sum.Converged {
+		t.Fatalf("steady 2000-task run did not converge")
+	}
+	if sum.ConvergedAt <= 0 || sum.ConvergedAt > sum.Result.Makespan {
+		t.Fatalf("ConvergedAt = %d outside (0, %d]", sum.ConvergedAt, sum.Result.Makespan)
+	}
+
+	// Without the option the run pays nothing and reports nothing.
+	plain, err := Evaluate(ExampleTree(), IC(3), 2000)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if plain.Timeline != nil || plain.Converged || plain.ConvergedAt != 0 {
+		t.Fatalf("timeline fields set without WithTimeline: %+v", plain)
+	}
+}
+
 func TestSimulateContextMatchesSimulate(t *testing.T) {
 	cfg := SimConfig{Tree: ExampleTree(), Protocol: IC(3), Tasks: 500}
 	plain, err := Simulate(cfg)

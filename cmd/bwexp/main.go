@@ -131,7 +131,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bwexp", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment id: fig3 fig4 fig5 fig6 fig7 table1 table2 paperscale ablation-policy ablation-interrupt ablation-decay churn detector fairness overlay overlay-improve all")
+		exp       = fs.String("exp", "all", "experiment id: fig3 fig4 fig5 fig6 fig7 reconverge table1 table2 paperscale ablation-policy ablation-interrupt ablation-decay churn detector fairness overlay overlay-improve all")
 		trees     = fs.Int("trees", 0, "population size (0 = experiment default)")
 		tasks     = fs.Int64("tasks", 0, "application size (0 = experiment default)")
 		seed      = fs.Uint64("seed", 0, "generator seed (0 = default)")
@@ -218,7 +218,7 @@ func run(args []string, out io.Writer) error {
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"fig3", "fig4", "table1", "fig6", "fig5", "table2", "fig7", "ablation-policy", "ablation-interrupt", "ablation-decay", "churn", "detector", "fairness", "overlay", "overlay-improve"}
+		ids = []string{"fig3", "fig4", "table1", "fig6", "fig5", "table2", "fig7", "reconverge", "ablation-policy", "ablation-interrupt", "ablation-decay", "churn", "detector", "fairness", "overlay", "overlay-improve"}
 	}
 
 	// Figure 4's populations back Table 1 and Figure 6.
@@ -314,6 +314,14 @@ func run(args []string, out io.Writer) error {
 			var r *experiments.Fig7Result
 			if r, err = experiments.Fig7(0, 0); err == nil {
 				err = r.Render(out)
+			}
+		case "reconverge":
+			var r *experiments.ReconvergeResult
+			if r, err = experiments.Reconverge(*tasks, 0); err == nil {
+				err = r.Render(out)
+			}
+			if err == nil && *jsonOut != "" {
+				err = writeJSONPath(*jsonOut, r.JSON())
 			}
 		case "ablation-policy":
 			var r *experiments.AblationPolicyResult

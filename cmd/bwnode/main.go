@@ -58,9 +58,10 @@ func run(args []string) error {
 		tasks     = fs.Int("tasks", 0, "root only: number of tasks to dispatch")
 		size      = fs.Int("size", 4096, "root only: task payload bytes")
 		timeout   = fs.Duration("timeout", 10*time.Minute, "root only: run deadline")
-		status    = fs.String("status", "", "serve /status (JSON), /metrics (Prometheus), /debug/events (flight recorder) and /debug/pprof at this address (e.g. 127.0.0.1:8080)")
+		status    = fs.String("status", "", "serve /status (JSON), /metrics (Prometheus), /debug/events (flight recorder), /timeline (sampled telemetry) and /debug/pprof at this address (e.g. 127.0.0.1:8080)")
 		traceOut  = fs.String("trace-out", "", "write the node's flight-recorder dump (JSON) to this file on exit; merge dumps with bwtrace")
 		recorder  = fs.Int("recorder", 0, "flight-recorder ring capacity in events (0 = default 8192, negative disables)")
+		timeline  = fs.Duration("timeline", 0, "telemetry sampling interval for /timeline (0 = default 1s, negative disables)")
 
 		heartbeat = fs.Duration("heartbeat", time.Second, "per-link heartbeat interval (negative disables supervision)")
 		hbMisses  = fs.Int("heartbeat-misses", 3, "consecutive silent intervals before a link is severed")
@@ -103,6 +104,9 @@ func run(args []string) error {
 	}
 	if *recorder != 0 {
 		opts = append(opts, live.WithRecorderCapacity(*recorder))
+	}
+	if *timeline != 0 {
+		opts = append(opts, live.WithTimelineInterval(*timeline))
 	}
 	node, err := live.Start(*name, opts...)
 	if err != nil {

@@ -55,6 +55,9 @@ const (
 	// evAppRelease opens a workload's pool at its scheduled release time
 	// (multi-application runs only); Node carries the application index.
 	evAppRelease
+	// evSample is the timeline telemetry tick (Config.SampleEvery > 0
+	// only); it re-schedules itself until the last task completes.
+	evSample
 )
 
 const noChild int32 = -1
@@ -135,6 +138,19 @@ type Config struct {
 	// happens (see the trace package for recorders and renderers).
 	// Tracing costs one virtual call per action; leave nil for sweeps.
 	Tracer Tracer
+
+	// SampleEvery, when positive, records timeline telemetry (completion
+	// rate, link utilization, pool depth, per-application share) every
+	// SampleEvery timesteps into Result.Timeline. Zero — the default —
+	// disables sampling entirely; the event path then carries no
+	// telemetry cost (pinned by TestTimelineDisabledZeroAllocs).
+	SampleEvery sim.Time
+
+	// TimelineCapacity caps the stored points per timeline series; on
+	// overflow a series halves itself and doubles its resolution, so
+	// memory stays O(TimelineCapacity) for any run length. Zero means
+	// the package default (512); meaningful values are >= 2.
+	TimelineCapacity int
 }
 
 // Tracer observes engine actions. Implementations must not retain the
@@ -177,6 +193,12 @@ func (c *Config) Validate() error {
 	}
 	if err := validateWorkloads(c.Workloads, c.Tasks); err != nil {
 		return err
+	}
+	if c.SampleEvery < 0 {
+		return fmt.Errorf("engine: negative sample interval %d", c.SampleEvery)
+	}
+	if c.TimelineCapacity != 0 && c.TimelineCapacity < 2 {
+		return fmt.Errorf("engine: timeline capacity %d, need 0 (default) or >= 2", c.TimelineCapacity)
 	}
 	if !slices.IsSorted(c.Checkpoints) {
 		return fmt.Errorf("engine: checkpoints must be ascending")
@@ -270,6 +292,10 @@ type Result struct {
 	Apps []AppResult
 	// Metrics is the run's engine-wide instrumentation snapshot.
 	Metrics Metrics
+	// Timeline holds the run's sampled telemetry when Config.SampleEvery
+	// was positive; nil otherwise. Unlike the slices above, the Timeline
+	// is a copy — it stays valid across Runner reuse.
+	Timeline *Timeline
 }
 
 // UsedCount returns how many nodes computed at least one task.
@@ -420,6 +446,12 @@ type engine struct {
 	appWeights     []int64
 	appCompletions [][]sim.Time
 	appRequeued    []int64
+
+	// tl is the timeline sampling state; nil unless Config.SampleEvery is
+	// positive, and every hook checks for nil so the disabled path stays
+	// allocation- and branch-cheap.
+	tl *timeline
+
 	checkpoints []CheckpointStat
 	mutIdx      int
 	attIdx      int
@@ -525,6 +557,11 @@ func (e *engine) run(cfg Config) (*Result, error) {
 	}
 
 	e.initNodes(0)
+	if cfg.SampleEvery > 0 {
+		// Before the t=0 scheduling pass, so the very first sends are
+		// stamped for utilization accounting.
+		e.initTimeline()
+	}
 
 	// Workloads arriving mid-run open their pools at their release times.
 	for a, w := range cfg.Workloads {
@@ -598,6 +635,9 @@ func (e *engine) run(cfg Config) (*Result, error) {
 	e.met.EventAllocs = e.s.Allocs()
 	e.met.EventsCancels = e.s.Cancelled()
 	res.Metrics = e.met
+	if e.tl != nil {
+		res.Timeline = e.timelineResult()
+	}
 	return res, nil
 }
 
@@ -695,6 +735,8 @@ func (e *engine) Handle(ev *sim.Event) {
 		e.onComputeComplete(ev.Node)
 	case evAppRelease:
 		e.onAppRelease(ev.Node)
+	case evSample:
+		e.onSample()
 	default:
 		panic(fmt.Sprintf("engine: unknown event kind %d", ev.Kind))
 	}
@@ -817,6 +859,9 @@ func (e *engine) onSendComplete(p, c int32) {
 	if ps.sending != c {
 		panic("engine: send completion for wrong child")
 	}
+	if e.tl != nil {
+		e.tlSendStop(p)
+	}
 	app := ps.sendingApp
 	ps.sending = noChild
 	ps.sendEv = nil
@@ -864,6 +909,12 @@ func (e *engine) onComputeComplete(n int32) {
 	}
 	if e.trace != nil {
 		e.trace.ComputeDone(e.s.Now(), tree.NodeID(n), e.completed)
+	}
+	if e.tl != nil && e.completed == e.totalTasks {
+		// The run is over: flush the partial final interval and cancel the
+		// pending tick so it cannot outlive the last completion (Makespan
+		// is the time of the last fired event).
+		e.finishTimeline()
 	}
 	e.atCompletion()
 	// Attachments inside atCompletion may reallocate the node table.
@@ -996,6 +1047,9 @@ func (e *engine) trySchedule(n int32) {
 			return
 		}
 		// Preempt: shelve the in-flight transfer with its remaining time.
+		if e.tl != nil {
+			e.tlSendStop(n)
+		}
 		remaining := e.s.Cancel(ns.sendEv)
 		ns.shelves = append(ns.shelves, shelf{child: ns.sending, remaining: remaining, since: ns.sendSince, app: ns.sendingApp})
 		if len(ns.shelves) > ns.stat.MaxShelved {
@@ -1030,6 +1084,9 @@ func (e *engine) startSend(n, c int32, fromShelf bool) {
 				ns.sendSince = sh.since
 				ns.sendingApp = sh.app
 				e.met.SendsResumed++
+				if e.tl != nil {
+					e.tlSendStart(n)
+				}
 				ns.sendEv = e.s.Schedule(sh.remaining, evSendComplete, n, c)
 				if e.trace != nil {
 					e.trace.SendStart(e.s.Now(), tree.NodeID(n), tree.NodeID(c), ns.sendEv.At(), true)
@@ -1059,6 +1116,9 @@ func (e *engine) startSend(n, c int32, fromShelf bool) {
 	ns.sending = c
 	ns.sendSince = since
 	e.met.SendsStarted++
+	if e.tl != nil {
+		e.tlSendStart(n)
+	}
 	ns.sendEv = e.s.Schedule(sim.Time(e.t.C(tree.NodeID(c))), evSendComplete, n, c)
 	if e.trace != nil {
 		e.trace.SendStart(e.s.Now(), tree.NodeID(n), tree.NodeID(c), ns.sendEv.At(), false)
@@ -1212,6 +1272,9 @@ func (e *engine) depart(node tree.NodeID) {
 	// departing root and drop its outstanding requests.
 	n32 := int32(node)
 	if ps.sending == n32 {
+		if e.tl != nil {
+			e.tlSendStop(parent)
+		}
 		e.s.Cancel(ps.sendEv)
 		if e.multi {
 			lostApp[ps.sendingApp]++
@@ -1263,6 +1326,9 @@ func (e *engine) depart(node tree.NodeID) {
 			lost++
 		}
 		if ns.sending != noChild {
+			if e.tl != nil {
+				e.tlSendStop(int32(sid))
+			}
 			e.s.Cancel(ns.sendEv)
 			if e.multi {
 				lostApp[ns.sendingApp]++

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bwcs/internal/engine"
+	"bwcs/internal/metrics"
+	"bwcs/internal/optimal"
+	"bwcs/internal/protocol"
+	"bwcs/internal/rational"
+	"bwcs/internal/sim"
+	"bwcs/internal/stats"
+	"bwcs/internal/textplot"
+	"bwcs/internal/tree"
+)
+
+// TimelineSchemaV1 identifies the timeline JSON artifact emitted by
+// bwexp -exp reconverge -json; the live overlay's /timeline dump carries
+// the same schema string.
+const TimelineSchemaV1 = "bwcs-timeline/v1"
+
+// ReconvergeScenario is one protocol's run of the re-convergence
+// experiment: the Figure 1 platform with P1's link re-weighted (c1: 1→3)
+// after MutateAt completed tasks, with the engine's timeline sampling
+// the interval completion rate throughout.
+type ReconvergeScenario struct {
+	Name     string
+	Protocol string
+	// OptimalBefore and OptimalAfter are the platform's optimal
+	// steady-state rates before and after the mutation.
+	OptimalBefore rational.Rat
+	OptimalAfter  rational.Rat
+	// MutateTime is when the mutation actually fired (the completion
+	// time of task MutateAt).
+	MutateTime sim.Time
+	Makespan   sim.Time
+	// TailRate is the measured rate over the post-mutation tail.
+	TailRate float64
+	// Converged reports whether the post-mutation rate settled; if so,
+	// ConvergedAt is the sample time it entered its final steady band
+	// and TimeToReconverge = ConvergedAt - MutateTime.
+	Converged        bool
+	ConvergedAt      sim.Time
+	TimeToReconverge sim.Time
+	// Rate is the sampled interval-completion-rate series of the run.
+	Rate metrics.SeriesSnapshot
+}
+
+// ReconvergeResult measures time-to-re-converge: how long each protocol
+// takes to settle back onto a steady completion rate after the platform
+// changes under it (the adaptability claim of Section 4.2.3, here made
+// quantitative with the timeline sampler and the stats.Converge
+// detector instead of eyeballing Figure 7's slopes).
+type ReconvergeResult struct {
+	Tasks       int64
+	MutateAt    int64
+	SampleEvery sim.Time
+	Eps         float64
+	Window      int
+	Scenarios   []ReconvergeScenario
+}
+
+// Reconverge runs the re-convergence experiment over the autonomous
+// protocols. tasks and mutateAt default to 2000 and 200 when zero.
+func Reconverge(tasks, mutateAt int64) (*ReconvergeResult, error) {
+	if tasks == 0 {
+		tasks = 2000
+	}
+	if mutateAt == 0 {
+		mutateAt = 200
+	}
+	if mutateAt >= tasks {
+		return nil, fmt.Errorf("reconverge: mutation at %d but only %d tasks", mutateAt, tasks)
+	}
+	const (
+		sampleEvery = sim.Time(64)
+		eps         = 0.05
+		window      = 8
+	)
+	protocols := []struct {
+		name  string
+		proto protocol.Protocol
+	}{
+		{"interruptible FB=3", protocol.Interruptible(3)},
+		{"interruptible FB=1", protocol.Interruptible(1)},
+		{"non-intr IB=1", protocol.NonInterruptible(1)},
+		{"non-intr FB=2", protocol.NonInterruptibleFixed(2)},
+	}
+	mut := []engine.Mutation{{AfterTasks: mutateAt, Node: P1, C: 3}}
+	alt := func(t *tree.Tree) { t.SetC(P1, 3) }
+
+	optBefore := optimal.Weight(ExampleTree()).Inv()
+	mutated := ExampleTree()
+	alt(mutated)
+	optAfter := optimal.Weight(mutated).Inv()
+
+	out := &ReconvergeResult{
+		Tasks: tasks, MutateAt: mutateAt,
+		SampleEvery: sampleEvery, Eps: eps, Window: window,
+	}
+	for _, p := range protocols {
+		res, err := engine.Run(engine.Config{
+			Tree:        ExampleTree(),
+			Protocol:    p.proto,
+			Tasks:       tasks,
+			Mutations:   mut,
+			SampleEvery: sampleEvery,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("reconverge %q: %w", p.name, err)
+		}
+		sc := ReconvergeScenario{
+			Name:          p.name,
+			Protocol:      fmt.Sprint(p.proto),
+			OptimalBefore: optBefore,
+			OptimalAfter:  optAfter,
+			MutateTime:    res.Completions[mutateAt-1],
+			Makespan:      res.Makespan,
+		}
+		if rate := res.Timeline.Find("rate"); rate != nil {
+			sc.Rate = *rate
+			// The steady-state regime ends when the root pool empties:
+			// from there the rate ramps down as buffers drain, which is
+			// depletion, not instability. Convergence is judged over the
+			// window (mutation, pool-exhaustion] only — pre-mutation
+			// samples would count the old steady state as an excursion,
+			// drain samples would drag the trailing mean to zero.
+			drainT := int64(res.Makespan) + 1
+			if pool := res.Timeline.Find("pool_depth"); pool != nil {
+				for _, pt := range pool.Points {
+					// Below 1 rather than 0: ring merges can average the
+					// final pool-empty reading with its predecessor. The
+					// interval ending at this sample straddles
+					// exhaustion, so cut strictly before it.
+					if pt.V < 1 {
+						drainT = pt.T
+						break
+					}
+				}
+			}
+			var times []int64
+			var values []float64
+			for _, pt := range rate.Points {
+				if pt.T > int64(sc.MutateTime) && pt.T < drainT {
+					times = append(times, pt.T)
+					values = append(values, pt.V)
+				}
+			}
+			if at, ok := stats.Converge(times, values, eps, window); ok {
+				sc.Converged = true
+				sc.ConvergedAt = sim.Time(at)
+				sc.TimeToReconverge = sc.ConvergedAt - sc.MutateTime
+			}
+		}
+		from := mutateAt + (tasks-mutateAt)/4
+		if dt := res.Completions[tasks-1] - res.Completions[from-1]; dt > 0 {
+			sc.TailRate = float64(tasks-from) / float64(dt)
+		}
+		out.Scenarios = append(out.Scenarios, sc)
+	}
+	return out, nil
+}
+
+// Render writes the re-convergence report: one rate sparkline per
+// protocol (the dip-and-recover shape of Figure 7's slope change) and a
+// table of time-to-re-converge against the per-phase optimal rates.
+func (r *ReconvergeResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "Re-convergence after c1: 1→3 at task %d of %d (sampled every %d steps)\n\n",
+		r.MutateAt, r.Tasks, r.SampleEvery)
+	for _, sc := range r.Scenarios {
+		vals := make([]float64, len(sc.Rate.Points))
+		for i, p := range sc.Rate.Points {
+			vals[i] = p.V
+		}
+		fmt.Fprintf(w, "%-20s %s\n", sc.Name, textplot.Spark(vals))
+	}
+	fmt.Fprintf(w, "\n%-20s %10s %10s %10s %10s %12s\n",
+		"protocol", "opt before", "opt after", "tail rate", "t_mutate", "t_reconverge")
+	for _, sc := range r.Scenarios {
+		reconv := "never"
+		if sc.Converged {
+			reconv = fmt.Sprintf("%d", sc.TimeToReconverge)
+		}
+		fmt.Fprintf(w, "%-20s %10s %10s %10.5f %10d %12s\n",
+			sc.Name, sc.OptimalBefore.Format(5), sc.OptimalAfter.Format(5),
+			sc.TailRate, sc.MutateTime, reconv)
+	}
+	fmt.Fprintf(w, "\nt_reconverge = first sample time from which the rate stays within ±%.0f%% of its\nfinal %d-sample mean, minus t_mutate; sim timesteps throughout\n",
+		r.Eps*100, r.Window)
+	return nil
+}
+
+// JSON returns the bwcs-timeline/v1 document for this result, suitable
+// for bwexp -json.
+func (r *ReconvergeResult) JSON() any {
+	type row struct {
+		Name             string                 `json:"name"`
+		Protocol         string                 `json:"protocol"`
+		OptimalBefore    float64                `json:"optimalBefore"`
+		OptimalAfter     float64                `json:"optimalAfter"`
+		TailRate         float64                `json:"tailRate"`
+		MutateTime       int64                  `json:"mutateTime"`
+		Makespan         int64                  `json:"makespan"`
+		Converged        bool                   `json:"converged"`
+		ConvergedAt      int64                  `json:"convergedAt"`
+		TimeToReconverge int64                  `json:"timeToReconverge"`
+		Rate             metrics.SeriesSnapshot `json:"rate"`
+	}
+	rows := make([]row, 0, len(r.Scenarios))
+	for _, sc := range r.Scenarios {
+		rows = append(rows, row{
+			Name:             sc.Name,
+			Protocol:         sc.Protocol,
+			OptimalBefore:    sc.OptimalBefore.Float64(),
+			OptimalAfter:     sc.OptimalAfter.Float64(),
+			TailRate:         sc.TailRate,
+			MutateTime:       int64(sc.MutateTime),
+			Makespan:         int64(sc.Makespan),
+			Converged:        sc.Converged,
+			ConvergedAt:      int64(sc.ConvergedAt),
+			TimeToReconverge: int64(sc.TimeToReconverge),
+			Rate:             sc.Rate,
+		})
+	}
+	return struct {
+		Schema      string  `json:"schema"`
+		Experiment  string  `json:"experiment"`
+		Tasks       int64   `json:"tasks"`
+		MutateAt    int64   `json:"mutateAt"`
+		SampleEvery int64   `json:"sampleEvery"`
+		Eps         float64 `json:"eps"`
+		Window      int     `json:"window"`
+		Scenarios   []row   `json:"scenarios"`
+	}{
+		Schema: TimelineSchemaV1, Experiment: "reconverge",
+		Tasks: r.Tasks, MutateAt: r.MutateAt,
+		SampleEvery: int64(r.SampleEvery), Eps: r.Eps, Window: r.Window,
+		Scenarios: rows,
+	}
+}

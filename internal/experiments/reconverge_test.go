@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bwcs/internal/textplot"
+)
+
+func TestReconverge(t *testing.T) {
+	r, err := Reconverge(0, 0)
+	if err != nil {
+		t.Fatalf("Reconverge: %v", err)
+	}
+	if len(r.Scenarios) != 4 {
+		t.Fatalf("scenarios = %d", len(r.Scenarios))
+	}
+	for _, sc := range r.Scenarios {
+		// The acceptance bar: every autonomous protocol settles back onto
+		// a steady rate after the mid-run re-weight, in finite time.
+		if !sc.Converged {
+			t.Errorf("%s: never re-converged", sc.Name)
+			continue
+		}
+		if sc.TimeToReconverge <= 0 || sc.ConvergedAt <= sc.MutateTime {
+			t.Errorf("%s: time-to-reconverge %d (converged at %d, mutated at %d)",
+				sc.Name, sc.TimeToReconverge, sc.ConvergedAt, sc.MutateTime)
+		}
+		if sc.ConvergedAt >= sc.Makespan {
+			t.Errorf("%s: converged at %d, after makespan %d", sc.Name, sc.ConvergedAt, sc.Makespan)
+		}
+		// Raising c1 lowers the optimal rate, and the tail tracks the new
+		// optimum — the Figure 7 shape, measured instead of eyeballed.
+		if !sc.OptimalAfter.Less(sc.OptimalBefore) {
+			t.Errorf("%s: mutation did not lower the optimal rate", sc.Name)
+		}
+		opt := sc.OptimalAfter.Float64()
+		if sc.TailRate < 0.7*opt || sc.TailRate > 1.1*opt {
+			t.Errorf("%s: tail rate %.4f far from optimal-after %.4f", sc.Name, sc.TailRate, opt)
+		}
+		if len(sc.Rate.Points) == 0 {
+			t.Errorf("%s: empty rate series", sc.Name)
+		}
+	}
+	var buf strings.Builder
+	if err := r.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(buf.String(), "t_reconverge") {
+		t.Fatalf("render missing table header:\n%s", buf.String())
+	}
+
+	raw, err := json.Marshal(r.JSON())
+	if err != nil {
+		t.Fatalf("marshal JSON artifact: %v", err)
+	}
+	var doc struct {
+		Schema    string `json:"schema"`
+		Scenarios []struct {
+			Converged bool `json:"converged"`
+			Rate      struct {
+				Points []struct{ T int64 } `json:"points"`
+			} `json:"rate"`
+		} `json:"scenarios"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("round-trip JSON artifact: %v", err)
+	}
+	if doc.Schema != TimelineSchemaV1 {
+		t.Fatalf("artifact schema = %q, want %q", doc.Schema, TimelineSchemaV1)
+	}
+	for i, sc := range doc.Scenarios {
+		if !sc.Converged || len(sc.Rate.Points) == 0 {
+			t.Fatalf("artifact scenario %d lost data: %+v", i, sc)
+		}
+	}
+}
+
+func TestReconvergeRejectsLateMutation(t *testing.T) {
+	if _, err := Reconverge(100, 100); err == nil {
+		t.Fatalf("accepted mutation at task count >= tasks")
+	}
+}
+
+func TestSpark(t *testing.T) {
+	got := textplot.Spark([]float64{0, 1, 2, 3})
+	if got != "▁▃▅█" {
+		t.Fatalf("Spark ramp = %q", got)
+	}
+	if got := textplot.Spark([]float64{5, 5, 5}); got != "▁▁▁" {
+		t.Fatalf("Spark flat = %q", got)
+	}
+	if got := textplot.Spark(nil); got != "" {
+		t.Fatalf("Spark empty = %q", got)
+	}
+}

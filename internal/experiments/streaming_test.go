@@ -144,7 +144,7 @@ func TestGridInt64(t *testing.T) {
 	}{
 		{10, 5, []int64{2, 4, 6, 8, 10}},
 		{60, 2, []int64{30, 60}},
-		{3, 6, []int64{1, 2, 3}},     // points > max: dupes collapse
+		{3, 6, []int64{1, 2, 3}}, // points > max: dupes collapse
 		{5, 10, []int64{1, 2, 3, 4, 5}},
 		{1, 4, []int64{1}},
 		{2, 7, []int64{1, 2}},

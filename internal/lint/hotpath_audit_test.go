@@ -45,6 +45,10 @@ var hotPathProbes = map[string]map[string]string{
 		"Series.Windows":          "runtime:TestHotPathAllocsPinned",
 		"Series.Reached":          "runtime:TestHotPathAllocsPinned",
 	},
+	"bwcs/internal/metrics": {
+		"TimeSeries.Append":     "runtime:TestTimeSeriesAppendZeroAllocs",
+		"TimeSeries.downsample": "runtime:TestTimeSeriesAppendZeroAllocs",
+	},
 	"bwcs/internal/optimal": {
 		// The weight pass works in math/big scratch that grows on demand
 		// inside big.Rat, so a zero-alloc runtime pin is impossible by

@@ -59,6 +59,9 @@ var HotPathSeeds = map[string][]string{
 	"bwcs/internal/optimal": {
 		"Weight", "weightCalc.fork", "weightCalc.sortedKids",
 	},
+	"bwcs/internal/metrics": {
+		"TimeSeries.Append", "TimeSeries.downsample",
+	},
 	"bwcs/live": {
 		"appendFrame", "decodeFrame", "appendStringField", "appendBytesField",
 		"appendBool", "appendU64Field", "readFrame", "interner.intern",

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -236,6 +237,32 @@ type Family struct {
 	Buckets []int64 `json:"buckets,omitempty"` // cumulative counts per bound
 	Sum     int64   `json:"sum,omitempty"`
 	Count   int64   `json:"count,omitempty"`
+}
+
+// Quantile estimates the q'th quantile (0..1) of a histogram family
+// from its cumulative buckets: the smallest bound whose cumulative count
+// covers q of the observations (the Prometheus upper-bound convention,
+// without interpolation — this repository's histograms measure small
+// integer counts, so a bucket bound is the honest answer). Observations
+// beyond the last bound live only in the implicit +Inf bucket, which has
+// no finite bound to report; when the quantile lands there, the family
+// mean Sum/Count is returned as a best effort. An empty family reports 0.
+func (f Family) Quantile(q float64) float64 {
+	if f.Count == 0 {
+		return 0
+	}
+	// The tiny slack keeps q values like 0.10 — not exactly representable
+	// in binary — from ceiling one observation past the exact rank.
+	need := int64(math.Ceil(q*float64(f.Count) - 1e-9))
+	if need < 1 {
+		need = 1
+	}
+	for i, cum := range f.Buckets {
+		if cum >= need {
+			return float64(f.Bounds[i])
+		}
+	}
+	return float64(f.Sum) / float64(f.Count)
 }
 
 // Snapshot is a point-in-time view of a metric set, renderable as

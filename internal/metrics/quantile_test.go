@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"testing"
+
+	"bwcs/internal/stats"
+)
+
+// familyOf renders a histogram as the Family a Snapshot would carry, so
+// the quantile tests exercise the same cumulative-buckets path /metrics
+// consumers see.
+func familyOf(t *testing.T, h *Histogram, r *Registry) Family {
+	t.Helper()
+	for _, f := range r.Snapshot() {
+		if f.Type == "histogram" {
+			return f
+		}
+	}
+	t.Fatalf("no histogram family in snapshot")
+	return Family{}
+}
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_empty", "", []int64{1, 10})
+	f := familyOf(t, h, r)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := f.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%v) on empty histogram = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileAllInFirstBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_first", "", []int64{5, 50, 500})
+	for i := 0; i < 7; i++ {
+		h.Observe(3)
+	}
+	f := familyOf(t, h, r)
+	for _, q := range []float64{0, 0.01, 0.5, 1} {
+		if got := f.Quantile(q); got != 5 {
+			t.Errorf("Quantile(%v) = %v, want first bound 5", q, got)
+		}
+	}
+}
+
+func TestQuantileInfOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_inf", "", []int64{10, 20})
+	// Half the observations beyond the last bound: they live only in the
+	// implicit +Inf bucket, which has no finite bound — quantiles landing
+	// there fall back to the family mean.
+	h.Observe(10)
+	h.Observe(20)
+	h.Observe(100)
+	h.Observe(200)
+	f := familyOf(t, h, r)
+	if got := f.Quantile(0.25); got != 10 {
+		t.Errorf("Quantile(0.25) = %v, want 10", got)
+	}
+	if got := f.Quantile(0.5); got != 20 {
+		t.Errorf("Quantile(0.5) = %v, want 20", got)
+	}
+	mean := float64(10+20+100+200) / 4
+	for _, q := range []float64{0.75, 0.99, 1} {
+		if got := f.Quantile(q); got != mean {
+			t.Errorf("Quantile(%v) = %v, want mean %v for the +Inf bucket", q, got, mean)
+		}
+	}
+}
+
+// TestQuantileAgreesWithCounterPercentile pins the two percentile
+// implementations to each other: a histogram with a bound at every
+// distinct value loses nothing to bucketing, so its Quantile must equal
+// stats.Counter.Percentile on the same inputs. Integer percentile points
+// are used because there both nearest-rank conventions (round-half-up
+// vs ceiling) pick the same rank.
+func TestQuantileAgreesWithCounterPercentile(t *testing.T) {
+	bounds := make([]int64, 20)
+	for i := range bounds {
+		bounds[i] = int64(i)
+	}
+	r := NewRegistry()
+	h := r.Histogram("q_agree", "", bounds)
+	c := stats.NewCounter()
+	for i := 0; i < 100; i++ {
+		v := int64((i * 37) % 20)
+		h.Observe(v)
+		c.Add(v)
+	}
+	f := familyOf(t, h, r)
+	for p := 1; p <= 100; p++ {
+		want := float64(c.Percentile(float64(p)))
+		got := f.Quantile(float64(p) / 100)
+		if got != want {
+			t.Errorf("p=%d: Quantile = %v, Counter.Percentile = %v", p, got, want)
+		}
+	}
+}

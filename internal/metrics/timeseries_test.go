@@ -1,0 +1,224 @@
+package metrics
+
+import (
+	"testing"
+)
+
+func TestTimeSeriesAppendAndSnapshot(t *testing.T) {
+	ts := NewTimeSeries("rate", 8, 10)
+	for i := int64(0); i < 5; i++ {
+		ts.Append(i*10, float64(i))
+	}
+	if ts.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", ts.Len())
+	}
+	if ts.Resolution() != 10 {
+		t.Fatalf("Resolution = %d, want 10", ts.Resolution())
+	}
+	snap := SnapshotSeries(ts)
+	if snap.Name != "rate" || snap.Resolution != 10 || len(snap.Points) != 5 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	for i, p := range snap.Points {
+		if p.T != int64(i)*10 || p.V != float64(i) {
+			t.Fatalf("point %d = %+v", i, p)
+		}
+	}
+	// The snapshot owns its points: mutating it must not touch the series.
+	snap.Points[0].V = 99
+	if got := ts.At(0).V; got != 0 {
+		t.Fatalf("snapshot aliases the series buffer: At(0).V = %v", got)
+	}
+}
+
+func TestTimeSeriesSubResolutionMerge(t *testing.T) {
+	ts := NewTimeSeries("x", 8, 10)
+	ts.Append(0, 2)
+	// Three more samples inside the same 10-step bucket: running mean,
+	// timestamp advances to the newest.
+	ts.Append(3, 4)
+	ts.Append(6, 6)
+	ts.Append(9, 8)
+	if ts.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (merged)", ts.Len())
+	}
+	p, _ := ts.Last()
+	if p.T != 9 || p.V != 5 {
+		t.Fatalf("merged point = %+v, want {9 5}", p)
+	}
+	// A point a full resolution past the (advanced) merged timestamp
+	// starts a fresh point with a fresh mean.
+	ts.Append(19, 100)
+	ts.Append(20, 200)
+	p, _ = ts.Last()
+	if ts.Len() != 2 || p.T != 20 || p.V != 150 {
+		t.Fatalf("after new bucket: len=%d last=%+v", ts.Len(), p)
+	}
+}
+
+func TestTimeSeriesDownsampleOnOverflow(t *testing.T) {
+	ts := NewTimeSeries("x", 4, 1)
+	for i := int64(0); i < 4; i++ {
+		ts.Append(i, float64(i))
+	}
+	if ts.Len() != 4 || ts.Resolution() != 1 {
+		t.Fatalf("before overflow: len=%d res=%d", ts.Len(), ts.Resolution())
+	}
+	// The 5th point overflows: pairs (0,1) and (2,3) average to 2 points
+	// at the later timestamps, resolution doubles, then the new point
+	// lands.
+	ts.Append(4, 4)
+	if ts.Len() != 3 {
+		t.Fatalf("after overflow: len = %d, want 3", ts.Len())
+	}
+	if ts.Resolution() != 2 {
+		t.Fatalf("after overflow: res = %d, want 2", ts.Resolution())
+	}
+	want := []Point{{T: 1, V: 0.5}, {T: 3, V: 2.5}, {T: 4, V: 4}}
+	for i, w := range want {
+		if got := ts.At(i); got != w {
+			t.Fatalf("point %d = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+func TestTimeSeriesDownsampleOddCount(t *testing.T) {
+	// An odd point count keeps the trailing point verbatim.
+	ts := NewTimeSeries("x", 5, 1)
+	for i := int64(0); i < 5; i++ {
+		ts.Append(i, float64(i*10))
+	}
+	ts.Append(5, 50)
+	// Pairs (0,10)@1, (20,30)@3, odd 40@4 kept, then 50@5 appended.
+	want := []Point{{T: 1, V: 5}, {T: 3, V: 25}, {T: 4, V: 40}, {T: 5, V: 50}}
+	if ts.Len() != len(want) {
+		t.Fatalf("len = %d, want %d", ts.Len(), len(want))
+	}
+	for i, w := range want {
+		if got := ts.At(i); got != w {
+			t.Fatalf("point %d = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+func TestTimeSeriesBoundedOverLongRun(t *testing.T) {
+	// A million appends at unit spacing must stay within capacity, with
+	// monotone timestamps and ever-coarser resolution.
+	ts := NewTimeSeries("x", 64, 1)
+	for i := int64(0); i < 1_000_000; i++ {
+		ts.Append(i, 1.0)
+	}
+	if ts.Len() > 64 {
+		t.Fatalf("series exceeded capacity: %d", ts.Len())
+	}
+	for i := 1; i < ts.Len(); i++ {
+		if ts.At(i).T <= ts.At(i-1).T {
+			t.Fatalf("timestamps not strictly ascending at %d: %v then %v", i, ts.At(i-1), ts.At(i))
+		}
+	}
+	if ts.Resolution() <= 1 {
+		t.Fatalf("resolution never coarsened: %d", ts.Resolution())
+	}
+	// Constant input must survive mean-of-means exactly.
+	for i := 0; i < ts.Len(); i++ {
+		if ts.At(i).V != 1.0 {
+			t.Fatalf("constant series distorted at %d: %v", i, ts.At(i))
+		}
+	}
+}
+
+func TestTimeSeriesReset(t *testing.T) {
+	ts := NewTimeSeries("x", 4, 1)
+	for i := int64(0); i < 10; i++ {
+		ts.Append(i, float64(i))
+	}
+	if ts.Resolution() == 1 {
+		t.Fatalf("fixture never downsampled")
+	}
+	ts.Reset()
+	if ts.Len() != 0 || ts.Resolution() != 1 {
+		t.Fatalf("after Reset: len=%d res=%d", ts.Len(), ts.Resolution())
+	}
+	ts.Append(5, 7)
+	p, ok := ts.Last()
+	if !ok || p.T != 5 || p.V != 7 {
+		t.Fatalf("append after Reset: %+v %v", p, ok)
+	}
+}
+
+func TestTimeSeriesBackwardsTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("backwards time did not panic")
+		}
+	}()
+	ts := NewTimeSeries("x", 4, 1)
+	ts.Append(10, 1)
+	ts.Append(9, 1)
+}
+
+func TestNewTimeSeriesValidates(t *testing.T) {
+	for _, tc := range []struct {
+		cap1 int
+		res  int64
+	}{{1, 1}, {2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTimeSeries(cap=%d res=%d) did not panic", tc.cap1, tc.res)
+				}
+			}()
+			NewTimeSeries("x", tc.cap1, tc.res)
+		}()
+	}
+}
+
+// TestTimeSeriesAppendZeroAllocs is the runtime probe backing the
+// //bwvet:hotpath annotations on TimeSeries.Append and
+// TimeSeries.downsample (see internal/lint's probe manifest): the engine
+// calls Append from its event loop, so it must not allocate even across
+// downsampling passes.
+func TestTimeSeriesAppendZeroAllocs(t *testing.T) {
+	ts := NewTimeSeries("x", 64, 1)
+	var i int64
+	allocs := testing.AllocsPerRun(10_000, func() {
+		ts.Append(i, float64(i))
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Append allocates %.1f times per call on the warm path", allocs)
+	}
+}
+
+func TestSamplerObserveSnapshotLatest(t *testing.T) {
+	s := NewSampler(16, 1)
+	s.Observe("a", 1, 10)
+	s.Observe("b", 1, 20)
+	if n := s.Tick(); n != 1 {
+		t.Fatalf("Tick = %d, want 1", n)
+	}
+	s.Observe("a", 2, 11)
+	s.Observe("b", 2, 21)
+	if n := s.Tick(); n != 2 {
+		t.Fatalf("Tick = %d, want 2", n)
+	}
+	if s.Ticks() != 2 {
+		t.Fatalf("Ticks = %d", s.Ticks())
+	}
+
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "a" || snap[1].Name != "b" {
+		t.Fatalf("snapshot order/content: %+v", snap)
+	}
+	if len(snap[0].Points) != 2 || snap[0].Points[1] != (Point{T: 2, V: 11}) {
+		t.Fatalf("series a: %+v", snap[0])
+	}
+
+	tick, latest := s.Latest()
+	if tick != 2 || len(latest) != 2 {
+		t.Fatalf("Latest = (%d, %d series)", tick, len(latest))
+	}
+	if latest[1].Points[0] != (Point{T: 2, V: 21}) {
+		t.Fatalf("latest b = %+v", latest[1])
+	}
+}

@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Converge detects when a sampled series settled: the first time the
+// values enter — and never again leave — a relative ε-band around the
+// series' trailing steady value (the mean of the last window samples).
+// It returns the timestamp of the first sample of that final in-band
+// suffix, and whether the suffix is at least window samples long (a
+// shorter suffix means the series was still moving at the end and no
+// convergence can be claimed).
+//
+// This is the re-convergence metric of the adaptability experiments: a
+// platform mutation knocks the completion rate off its steady value, and
+// "time to re-converge" is Converge over the post-mutation samples minus
+// the mutation time. The detector is deliberately retrospective (the
+// steady value is taken from the tail, not predicted), which is the
+// right definition for a finished run and needs no model of the target
+// rate.
+//
+// times and values are parallel slices, times ascending. eps is the
+// relative half-width of the band (0.05 = ±5%); for a steady value of
+// zero the band degenerates to |v| <= eps. window must be >= 1.
+func Converge(times []int64, values []float64, eps float64, window int) (at int64, ok bool) {
+	if len(times) != len(values) {
+		panic(fmt.Sprintf("stats: converge over %d times but %d values", len(times), len(values)))
+	}
+	if window < 1 {
+		panic(fmt.Sprintf("stats: converge window %d must be >= 1", window))
+	}
+	if eps < 0 {
+		panic(fmt.Sprintf("stats: negative converge band %v", eps))
+	}
+	n := len(values)
+	if n < window {
+		return 0, false
+	}
+	var sum float64
+	for _, v := range values[n-window:] {
+		sum += v
+	}
+	steady := sum / float64(window)
+	tol := eps * math.Abs(steady)
+	i := n
+	for i > 0 && math.Abs(values[i-1]-steady) <= tol {
+		i--
+	}
+	if n-i < window {
+		return 0, false
+	}
+	return times[i], true
+}

@@ -1,0 +1,65 @@
+package stats
+
+import "testing"
+
+func TestConvergeFindsBandEntry(t *testing.T) {
+	// Ramp 0.2 → 1.0, then hold at 1.0 within ±2%.
+	times := []int64{10, 20, 30, 40, 50, 60, 70, 80}
+	values := []float64{0.2, 0.5, 0.8, 0.99, 1.01, 1.0, 0.99, 1.0}
+	at, ok := Converge(times, values, 0.05, 3)
+	if !ok {
+		t.Fatalf("Converge: no convergence found")
+	}
+	if at != 40 {
+		t.Fatalf("Converge at %d, want 40 (first sample of the in-band suffix)", at)
+	}
+}
+
+func TestConvergeRejectsStillMoving(t *testing.T) {
+	// Monotone ramp with no flat tail: the last window's mean sits above
+	// most of the suffix, so the in-band suffix is shorter than window.
+	times := []int64{1, 2, 3, 4, 5, 6}
+	values := []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.1}
+	if at, ok := Converge(times, values, 0.01, 4); ok {
+		t.Fatalf("Converge claimed convergence at %d on a pure ramp", at)
+	}
+}
+
+func TestConvergeWholeSeriesSteady(t *testing.T) {
+	times := []int64{5, 10, 15, 20}
+	values := []float64{2.0, 2.0, 2.0, 2.0}
+	at, ok := Converge(times, values, 0.01, 2)
+	if !ok || at != 5 {
+		t.Fatalf("Converge = (%d, %v), want (5, true) for an all-steady series", at, ok)
+	}
+}
+
+func TestConvergeDipAndRecover(t *testing.T) {
+	// The Fig 7 shape: steady, a dip after a mutation, recovery to a new
+	// steady value. Convergence must land after the dip, not before it.
+	times := []int64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90}
+	values := []float64{1.0, 1.0, 1.0, 0.4, 0.5, 0.68, 0.70, 0.69, 0.70, 0.70}
+	at, ok := Converge(times, values, 0.05, 4)
+	if !ok {
+		t.Fatalf("Converge: no convergence after recovery")
+	}
+	if at != 50 {
+		t.Fatalf("Converge at %d, want 50 (first post-dip in-band sample)", at)
+	}
+}
+
+func TestConvergeTooShort(t *testing.T) {
+	if _, ok := Converge([]int64{1, 2}, []float64{1, 1}, 0.1, 3); ok {
+		t.Fatalf("Converge claimed convergence with fewer samples than the window")
+	}
+}
+
+func TestConvergeZeroSteady(t *testing.T) {
+	// A series that decays to zero: the band degenerates to |v| <= eps.
+	times := []int64{1, 2, 3, 4, 5}
+	values := []float64{3.0, 1.0, 0.0, 0.0, 0.0}
+	at, ok := Converge(times, values, 0.05, 3)
+	if !ok || at != 3 {
+		t.Fatalf("Converge = (%d, %v), want (3, true) for a zero-steady tail", at, ok)
+	}
+}

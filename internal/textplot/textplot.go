@@ -162,6 +162,40 @@ func fmtNum(v float64) string {
 	return fmt.Sprintf("%.3g", v)
 }
 
+// sparkRunes are the eighth-block glyphs Spark scales values onto.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders values as a one-line unicode sparkline, scaled from the
+// minimum to the maximum finite value. Non-finite entries render as a
+// space; a flat series renders at the lowest block.
+func Spark(values []float64) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if !finite(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		if !finite(v) {
+			b.WriteByte(' ')
+			continue
+		}
+		i := 0
+		if hi > lo {
+			i = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
 // Bars renders a horizontal bar chart of labeled non-negative values,
 // scaled so the longest bar spans width characters.
 func Bars(w io.Writer, title string, labels []string, values []float64, width int) error {

@@ -62,6 +62,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"bwcs/internal/metrics"
 )
 
 // Task is one unit of application work. App names the application
@@ -172,6 +174,11 @@ type Config struct {
 	// 0 means the 8192 default, negative disables the recorder. Overflow
 	// evicts the oldest events and counts them in Stats.RecorderDropped.
 	RecorderCap int
+	// TimelineInterval is the telemetry sampling cadence: every interval
+	// the node records its task and wire byte rates and buffered depth
+	// into the bounded series /timeline serves. 0 means the 1s default;
+	// negative disables sampling (and /timeline answers 404).
+	TimelineInterval time.Duration
 
 	// sleep is the backoff clock, replaceable by tests; nil means real
 	// time.Sleep interruptible by node shutdown.
@@ -204,6 +211,10 @@ type Stats struct {
 	// RecorderDropped counts flight-recorder events evicted by ring
 	// overflow; nonzero means dumps hold a truncated window.
 	RecorderDropped int64
+
+	// UptimeSeconds is how long the node has been running, in whole
+	// seconds since StartConfig returned it.
+	UptimeSeconds int64
 
 	// Wire data-plane volume, aggregated over all of the node's links in
 	// both directions (and across reconnects). Bytes are measured at the
@@ -242,6 +253,11 @@ type Node struct {
 	rec     *flightRecorder
 	wireSeq atomic.Uint64
 	wireCtr wireCounters
+
+	// started anchors uptime and timeline timestamps; sampler is the
+	// timeline telemetry state, nil when sampling is disabled.
+	started time.Time
+	sampler *metrics.Sampler
 
 	// portMsgs and portFrames are the send port's reusable chunk-batch
 	// scratch; touched only by the sendPort goroutine.
@@ -411,6 +427,12 @@ func StartConfig(cfg Config) (*Node, error) {
 		cfg.ResultRetry = 0 // retransmit only on reconnect
 	}
 	switch {
+	case cfg.TimelineInterval == 0:
+		cfg.TimelineInterval = defaultTimelineInterval
+	case cfg.TimelineInterval < 0:
+		cfg.TimelineInterval = 0 // disabled
+	}
+	switch {
 	case cfg.ChunkBatch == 0:
 		cfg.ChunkBatch = defaultChunkBatch
 	case cfg.ChunkBatch < 0:
@@ -440,6 +462,7 @@ func StartConfig(cfg Config) (*Node, error) {
 	n := &Node{
 		cfg:       cfg,
 		root:      cfg.Parent == "",
+		started:   time.Now(),
 		inflight:  make(map[uint64]*inTransfer),
 		computing: make(map[uint64]bool),
 		kick:      make(chan struct{}, 1),
@@ -451,6 +474,12 @@ func StartConfig(cfg Config) (*Node, error) {
 	n.stats.ByChild = make(map[string]int64)
 	if recCap > 0 {
 		n.rec = newFlightRecorder(recCap)
+	}
+	if cfg.TimelineInterval > 0 {
+		// Millisecond timestamps at the sampling cadence never collide, so
+		// resolution 1 keeps every pass distinct until capacity forces
+		// downsampling.
+		n.sampler = metrics.NewSampler(timelineSeriesCap, 1)
 	}
 
 	if cfg.Listen != "" {
@@ -477,6 +506,13 @@ func StartConfig(cfg Config) (*Node, error) {
 	n.wg.Add(2)
 	go n.computeLoop()
 	go n.sendPort()
+	if n.sampler != nil {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.sampleLoop()
+		}()
+	}
 	return n, nil
 }
 
@@ -559,6 +595,7 @@ func (n *Node) Stats() Stats {
 	s.FramesReceived = n.wireCtr.framesRecv.Load()
 	s.BytesSent = n.wireCtr.bytesSent.Load()
 	s.BytesReceived = n.wireCtr.bytesRecv.Load()
+	s.UptimeSeconds = int64(time.Since(n.started).Seconds())
 	return s
 }
 

@@ -50,27 +50,33 @@ func startNode(t *testing.T, cfg Config) *Node {
 	return n
 }
 
-// dumpOnFailure writes the node's flight-recorder dump when the test
-// failed and BWCS_TRACE_DIR names a directory. CI's live-stress job sets
-// it and uploads the dumps (plus their bwtrace merges) as an artifact, so
-// a stall or protocol regression arrives with its causal timeline
-// attached instead of just a test name.
+// dumpOnFailure writes the node's flight-recorder dump — and, when
+// timeline sampling is active, its /timeline telemetry dump — when the
+// test failed and BWCS_TRACE_DIR names a directory. CI's live-stress job
+// sets it and uploads the dumps (plus their bwtrace merges) as an
+// artifact, so a stall or protocol regression arrives with its causal
+// timeline and rate history attached instead of just a test name.
 func dumpOnFailure(t *testing.T, n *Node) {
 	dir := os.Getenv("BWCS_TRACE_DIR")
 	if dir == "" || !t.Failed() {
 		return
 	}
 	name := strings.NewReplacer("/", "_", " ", "_").Replace(t.Name())
-	path := filepath.Join(dir, name+"-"+n.cfg.Name+".json")
-	b, err := json.MarshalIndent(n.TraceDump(), "", "  ")
-	if err == nil {
-		err = os.WriteFile(path, b, 0o644)
+	write := func(path string, v any) {
+		b, err := json.MarshalIndent(v, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, b, 0o644)
+		}
+		if err != nil {
+			t.Logf("dump %s: %v", path, err)
+			return
+		}
+		t.Logf("dump written to %s", path)
 	}
-	if err != nil {
-		t.Logf("flight-recorder dump %s: %v", path, err)
-		return
+	write(filepath.Join(dir, name+"-"+n.cfg.Name+".json"), n.TraceDump())
+	if n.sampler != nil {
+		write(filepath.Join(dir, name+"-"+n.cfg.Name+"-timeline.json"), n.TimelineDump())
 	}
-	t.Logf("flight-recorder dump written to %s", path)
 }
 
 func TestConfigValidation(t *testing.T) {

@@ -102,6 +102,24 @@ func TestMetricsEndpointMatchesStats(t *testing.T) {
 			t.Errorf("%s = %d, Stats says %d", key, got[key], v)
 		}
 	}
+	// The uptime gauge tracks Stats.UptimeSeconds; the scrape happened
+	// after the snapshot, so allow the clock to have ticked over.
+	up, ok := got["live_uptime_seconds"]
+	if !ok {
+		t.Errorf("/metrics missing live_uptime_seconds")
+	} else if up < st.UptimeSeconds || up > st.UptimeSeconds+2 {
+		t.Errorf("live_uptime_seconds = %d, Stats says %d", up, st.UptimeSeconds)
+	}
+	// process_start_time_seconds is the conventional restart-detection
+	// gauge: a unix timestamp no later than now and no earlier than the
+	// test binary plausibly started.
+	start, ok := got["process_start_time_seconds"]
+	now := time.Now().Unix()
+	if !ok {
+		t.Errorf("/metrics missing process_start_time_seconds")
+	} else if start > now || start < now-3600 {
+		t.Errorf("process_start_time_seconds = %d, now is %d", start, now)
+	}
 	// The work must have actually flowed through the overlay, otherwise
 	// the equalities above are all 0 == 0.
 	if st.Computed+st.Forwarded != 30 || st.Forwarded == 0 {

@@ -155,6 +155,14 @@ func WithRecorderCapacity(events int) Option {
 	return func(c *Config) { c.RecorderCap = events }
 }
 
+// WithTimelineInterval sets the telemetry sampling cadence: every
+// interval the node records its task and wire byte rates and buffered
+// depth into the bounded series /timeline serves (and streams with
+// ?follow=1). Default 1s; negative disables sampling.
+func WithTimelineInterval(d time.Duration) Option {
+	return func(c *Config) { c.TimelineInterval = d }
+}
+
 // Start launches a node named name. A root only needs a compute function:
 //
 //	root, err := live.Start("root",

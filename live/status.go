@@ -43,6 +43,9 @@ type statusServer struct {
 //
 //	/status        the node's statistics as JSON (StatusSnapshot)
 //	/metrics       the same counters in Prometheus text format
+//	/timeline      the node's sampled telemetry as JSON (TimelineDump);
+//	               ?follow=1 streams each sampling pass as NDJSON until
+//	               the client disconnects or the node closes
 //	/debug/events  the flight recorder's event dump as JSON (TraceDump);
 //	               ?follow=1 streams new events as NDJSON until the
 //	               client disconnects or the node closes
@@ -59,6 +62,7 @@ func (n *Node) ServeStatus(addr string) (string, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", ss.handle)
 	mux.HandleFunc("/metrics", ss.handleMetrics)
+	mux.HandleFunc("/timeline", ss.handleTimeline)
 	mux.HandleFunc("/debug/events", ss.handleEvents)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -157,8 +161,13 @@ func (s *statusServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	n.mu.Unlock()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = metricsSnapshot(st, buffered, connected, children, time.Since(s.started)).WritePrometheus(w)
+	_ = metricsSnapshot(st, buffered, connected, children).WritePrometheus(w)
 }
+
+// processStart anchors process_start_time_seconds, the conventional
+// Prometheus gauge scrapers use to detect restarts and compute process
+// age.
+var processStart = time.Now()
 
 // handleEvents serves the flight recorder. A plain GET returns the full
 // TraceDump as JSON — the document cmd/bwtrace merges. With ?follow=1 the
@@ -192,9 +201,12 @@ func (s *statusServer) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if err := enc.Encode(&evs[i]); err != nil {
 				return
 			}
-		}
-		if len(evs) > 0 && flusher != nil {
-			flusher.Flush()
+			// Flush per line, not per batch: a follower must see each
+			// event as soon as it is encoded, even mid-batch on a slow
+			// or long-polling connection.
+			if flusher != nil {
+				flusher.Flush()
+			}
 		}
 		select {
 		case <-t.C:
@@ -209,7 +221,7 @@ func (s *statusServer) handleEvents(w http.ResponseWriter, r *http.Request) {
 // metricsSnapshot converts a Stats snapshot (plus point-in-time gauges)
 // into a renderable metric set. Factored out so tests can assert the
 // exact exposition against a Stats value.
-func metricsSnapshot(st Stats, buffered, connected, children int64, uptime time.Duration) metrics.Snapshot {
+func metricsSnapshot(st Stats, buffered, connected, children int64) metrics.Snapshot {
 	counter := func(name, help string, v int64) metrics.Family {
 		return metrics.Family{Name: name, Help: help, Type: "counter", Samples: []metrics.Sample{{Value: v}}}
 	}
@@ -240,7 +252,8 @@ func metricsSnapshot(st Stats, buffered, connected, children int64, uptime time.
 		gauge("live_queued_peak", "most tasks simultaneously buffered", int64(st.MaxQueued)),
 		gauge("live_connected", "whether the uplink is established (always 1 at the root)", connected),
 		gauge("live_children", "currently connected children", children),
-		gauge("live_uptime_seconds", "seconds since the status server started", int64(uptime.Seconds())),
+		gauge("live_uptime_seconds", "seconds since the node started", st.UptimeSeconds),
+		gauge("process_start_time_seconds", "unix time the process started", processStart.Unix()),
 	}
 	if len(st.ByChild) > 0 {
 		names := make([]string, 0, len(st.ByChild))

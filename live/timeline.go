@@ -1,0 +1,148 @@
+package live
+
+// Wall-clock timeline telemetry for a running overlay node: a background
+// sampler snapshots the node's counters once per interval and folds the
+// deltas into bounded time series (task and wire byte rates, buffered
+// depth), which /timeline serves as a JSON dump or follows as NDJSON —
+// the live mirror of the simulator's Result.Timeline.
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"bwcs/internal/metrics"
+)
+
+// TimelineSchema identifies the /timeline JSON document format.
+const TimelineSchema = "bwcs-timeline/v1"
+
+// defaultTimelineInterval is the sampling cadence when
+// Config.TimelineInterval is unset.
+const defaultTimelineInterval = time.Second
+
+// timelineSeriesCap bounds the stored points per live series; on
+// overflow a series halves itself and doubles its resolution, so a
+// long-lived node's telemetry stays O(timelineSeriesCap).
+const timelineSeriesCap = 512
+
+// TimelineDump is the JSON document /timeline serves: every sampled
+// series of the node, point timestamps in milliseconds since the node
+// started.
+type TimelineDump struct {
+	Schema     string                   `json:"schema"`
+	Node       string                   `json:"node"`
+	IntervalMS int64                    `json:"intervalMs"`
+	Series     []metrics.SeriesSnapshot `json:"series"`
+}
+
+// TimelineDump snapshots the node's sampled telemetry. The Series are
+// empty when sampling is disabled (Config.TimelineInterval < 0).
+func (n *Node) TimelineDump() TimelineDump {
+	d := TimelineDump{
+		Schema:     TimelineSchema,
+		Node:       n.cfg.Name,
+		IntervalMS: n.cfg.TimelineInterval.Milliseconds(),
+	}
+	if n.sampler != nil {
+		d.Series = n.sampler.Snapshot()
+	}
+	return d
+}
+
+// sampleLoop is the telemetry goroutine: once per TimelineInterval it
+// diffs the node's counters against the previous pass and records the
+// rates, stamped in milliseconds since the node started. Rates are
+// computed against the measured (not nominal) elapsed time, so a late
+// tick does not inflate them.
+func (n *Node) sampleLoop() {
+	t := time.NewTicker(n.cfg.TimelineInterval)
+	defer t.Stop()
+	prev := n.Stats()
+	prevAt := time.Now()
+	for {
+		select {
+		case <-t.C:
+		case <-n.done:
+			return
+		}
+		now := time.Now()
+		dt := now.Sub(prevAt).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		st := n.Stats()
+		n.mu.Lock()
+		buffered := len(n.buffer)
+		n.mu.Unlock()
+
+		tms := now.Sub(n.started).Milliseconds()
+		rate := func(cur, old int64) float64 { return float64(cur-old) / dt }
+		n.sampler.Observe("computed_rate", tms, rate(st.Computed, prev.Computed))
+		n.sampler.Observe("forwarded_rate", tms, rate(st.Forwarded, prev.Forwarded))
+		n.sampler.Observe("received_rate", tms, rate(st.Received, prev.Received))
+		n.sampler.Observe("bytes_sent_rate", tms, rate(st.BytesSent, prev.BytesSent))
+		n.sampler.Observe("bytes_received_rate", tms, rate(st.BytesReceived, prev.BytesReceived))
+		n.sampler.Observe("buffered", tms, float64(buffered))
+		n.sampler.Tick()
+		prev, prevAt = st, now
+	}
+}
+
+// timelineRow is one NDJSON line of a /timeline?follow=1 stream: the
+// newest point of one series, tagged with the sampling pass that
+// produced it.
+type timelineRow struct {
+	Tick   uint64  `json:"tick"`
+	Series string  `json:"series"`
+	T      int64   `json:"t"` // milliseconds since the node started
+	V      float64 `json:"v"`
+}
+
+// handleTimeline serves the sampled telemetry. A plain GET returns the
+// full TimelineDump as JSON; with ?follow=1 the response is an NDJSON
+// stream — one timelineRow per series per sampling pass, flushed per
+// line — until the client disconnects or the node closes.
+func (s *statusServer) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	n := s.node
+	if n.sampler == nil {
+		http.Error(w, "live: timeline sampling disabled", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("follow") == "" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(n.TimelineDump())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	// Poll well below the sampling cadence so rows stream promptly after
+	// each pass; the tick cursor makes polls without fresh data free.
+	t := time.NewTicker(50 * time.Millisecond)
+	defer t.Stop()
+	var cursor uint64
+	for {
+		tick, latest := n.sampler.Latest()
+		if tick > cursor {
+			cursor = tick
+			for _, sn := range latest {
+				if err := enc.Encode(timelineRow{Tick: tick, Series: sn.Name, T: sn.Points[0].T, V: sn.Points[0].V}); err != nil {
+					return
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+		}
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			return
+		case <-n.done:
+			return
+		}
+	}
+}

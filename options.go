@@ -94,3 +94,20 @@ func WithWindow(threshold int) Option {
 func WithMetrics(dst *SimMetrics) Option {
 	return func(s *evalSettings) { s.metrics = dst }
 }
+
+// WithTimeline samples timeline telemetry every `every` timesteps —
+// completion rate, per-link utilization, root-pool depth and (for
+// EvaluateWorkloads) per-application share — into Summary.Timeline, and
+// runs the convergence detector over the rate series. Sampling is off by
+// default and costs the simulation nothing when off.
+func WithTimeline(every Time) Option {
+	return func(s *evalSettings) { s.cfg.SampleEvery = every }
+}
+
+// WithTimelineCapacity caps the stored points per timeline series
+// (default 512); on overflow a series halves itself and doubles its
+// resolution. Meaningful values are >= 2. Only relevant with
+// WithTimeline.
+func WithTimelineCapacity(capacity int) Option {
+	return func(s *evalSettings) { s.cfg.TimelineCapacity = capacity }
+}

@@ -83,6 +83,12 @@ type MultiSummary struct {
 	// exactly proportional to weight, approaching 1⁄N as one application
 	// monopolizes the platform.
 	Fairness float64
+	// Timeline, Converged and ConvergedAt mirror the Aggregate analysis
+	// (see Summary): the run's sampled telemetry when WithTimeline was
+	// set, and the convergence verdict over its aggregate rate series.
+	Timeline    *SimTimeline
+	Converged   bool
+	ConvergedAt Time
 }
 
 // EvaluateWorkloads runs N applications concurrently on tree t under
@@ -119,7 +125,8 @@ func EvaluateWorkloads(ctx context.Context, t *Tree, p Protocol, ws []Workload, 
 	if err != nil {
 		return nil, err
 	}
-	m := &MultiSummary{Result: res, Optimal: opt, Aggregate: agg}
+	m := &MultiSummary{Result: res, Optimal: opt, Aggregate: agg,
+		Timeline: agg.Timeline, Converged: agg.Converged, ConvergedAt: agg.ConvergedAt}
 
 	var sumW int64
 	for _, w := range ws {
